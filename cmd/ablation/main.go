@@ -1,0 +1,80 @@
+// Command ablation runs the design-choice studies that complement
+// the paper's figures: the checkpoint-count grid resolution, the
+// out-weight priority of the DF linearizer, and the greedy/refinement
+// extensions measured against the provable lower bound.
+//
+// Usage:
+//
+//	ablation [-study grid|priority|extensions|all] [-workflow all|Montage|...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ablation"
+	"repro/internal/pwg"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		study    = flag.String("study", "all", "grid|priority|extensions|all")
+		workflow = flag.String("workflow", "all", "workflow name or 'all'")
+		seed     = flag.Uint64("seed", 1, "master seed")
+		out      = flag.String("out", "", "directory for CSV output")
+	)
+	flag.Parse()
+	if err := run(*study, *workflow, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "ablation:", err)
+		os.Exit(1)
+	}
+}
+
+func run(study, workflow string, seed uint64, out string) error {
+	cfg := ablation.Config{Seed: seed}
+	var wfs []pwg.Workflow
+	if workflow == "all" {
+		wfs = []pwg.Workflow{pwg.Montage, pwg.CyberShake, pwg.Ligo, pwg.Genome}
+	} else {
+		wf, err := pwg.ParseWorkflow(workflow)
+		if err != nil {
+			return err
+		}
+		wfs = []pwg.Workflow{wf}
+	}
+	type studyFn struct {
+		name string
+		fn   func(pwg.Workflow, ablation.Config) (*report.Figure, error)
+	}
+	all := []studyFn{
+		{"grid", ablation.GridResolution},
+		{"priority", ablation.Priority},
+		{"extensions", ablation.Extensions},
+	}
+	var selected []studyFn
+	for _, s := range all {
+		if study == "all" || study == s.name {
+			selected = append(selected, s)
+		}
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("unknown study %q (grid|priority|extensions|all)", study)
+	}
+	for _, wf := range wfs {
+		for _, s := range selected {
+			fig, err := s.fn(wf, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(fig.Table())
+			if out != "" {
+				if err := fig.WriteCSV(out); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	var sb strings.Builder
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	r.Close()
+	return sb.String(), errRun
+}
+
+func TestRunSingleStudy(t *testing.T) {
+	out, err := capture(t, func() error { return run("priority", "Ligo", 1, "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ablation-priority-Ligo") || !strings.Contains(out, "outweight") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if strings.Contains(out, "ablation-grid") {
+		t.Fatal("single-study run produced other studies")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := capture(t, func() error { return run("priority", "Montage", 1, dir) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ablation-priority-Montage.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := capture(t, func() error { return run("bogus", "Montage", 1, "") }); err == nil {
+		t.Fatal("unknown study accepted")
+	}
+	if _, err := capture(t, func() error { return run("grid", "Bogus", 1, "") }); err == nil {
+		t.Fatal("unknown workflow accepted")
+	}
+}

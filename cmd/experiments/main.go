@@ -1,0 +1,118 @@
+// Command experiments regenerates the paper's evaluation figures
+// (Figures 2–7, main text and appendix). Each figure is printed as an
+// aligned table of T/T_inf values (the paper's y-axis) and optionally
+// written as CSV.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -fig fig3a[,fig3b,...] | -fig all [flags]
+//
+// Flags:
+//
+//	-quick     coarse checkpoint-count grid (~60 N values) and sparse
+//	           size grid {50,100,200,400,700}; minutes instead of hours
+//	-full      the paper's exhaustive sweep (N = 1..n−1, sizes 50..700)
+//	-out DIR   also write one CSV per figure into DIR
+//	-seed S    master seed (default 1)
+//	-workers W parallelism (default: all cores)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		figs    = flag.String("fig", "", "comma-separated figure IDs, or 'all'")
+		list    = flag.Bool("list", false, "list available figures and exit")
+		quick   = flag.Bool("quick", false, "coarse N grid and sparse sizes (fast)")
+		full    = flag.Bool("full", false, "the paper's exhaustive sweep (slow)")
+		out     = flag.String("out", "", "directory for CSV output")
+		seed    = flag.Uint64("seed", 1, "master seed")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = all cores)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.AllSpecs() {
+			fmt.Printf("%-6s %s\n", s.ID, s.Title)
+		}
+		return
+	}
+	if *figs == "" {
+		fmt.Fprintln(os.Stderr, "experiments: use -list, or -fig <ids|all>")
+		os.Exit(2)
+	}
+
+	cfg, err := buildConfig(*quick, *full, *seed, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	ids := resolveIDs(*figs)
+
+	for _, id := range ids {
+		spec, err := experiments.SpecByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		fig, err := experiments.Run(spec, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(fig.Table())
+		fmt.Printf("best per x: %s\n", strings.Join(fig.BestSeries(), " "))
+		fmt.Printf("(%s in %v)\n\n", spec.ID, time.Since(start).Round(time.Millisecond))
+		if *out != "" {
+			if err := fig.WriteCSV(*out); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// buildConfig maps the -quick/-full flags onto an experiment config.
+// Quick is the default: the paper-exact exhaustive sweep takes hours.
+func buildConfig(quick, full bool, seed uint64, workers int) (experiments.Config, error) {
+	cfg := experiments.Config{Seed: seed, Workers: workers}
+	switch {
+	case quick && full:
+		return cfg, fmt.Errorf("-quick and -full are mutually exclusive")
+	case full:
+		// Paper-exact: exhaustive N = 1..n−1, sizes 50..700 step 50.
+		return cfg, nil
+	default:
+		cfg.Grid = 60
+		cfg.Sizes = []int{50, 100, 200, 400, 700}
+		return cfg, nil
+	}
+}
+
+// resolveIDs expands the -fig argument into figure IDs.
+func resolveIDs(figs string) []string {
+	if figs == "all" {
+		var ids []string
+		for _, s := range experiments.AllSpecs() {
+			ids = append(ids, s.ID)
+		}
+		return ids
+	}
+	var ids []string
+	for _, id := range strings.Split(figs, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}

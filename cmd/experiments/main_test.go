@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestBuildConfig(t *testing.T) {
+	if _, err := buildConfig(true, true, 1, 0); err == nil {
+		t.Fatal("quick+full accepted")
+	}
+	full, err := buildConfig(false, true, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Grid != 0 || full.Sizes != nil || full.Seed != 7 || full.Workers != 3 {
+		t.Fatalf("full config wrong: %+v", full)
+	}
+	quick, err := buildConfig(true, false, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quick.Grid != 60 || len(quick.Sizes) != 5 {
+		t.Fatalf("quick config wrong: %+v", quick)
+	}
+	// Default (neither flag) is quick.
+	def, err := buildConfig(false, false, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Grid != quick.Grid {
+		t.Fatal("default should be quick")
+	}
+}
+
+func TestResolveIDs(t *testing.T) {
+	all := resolveIDs("all")
+	if len(all) != len(experiments.AllSpecs()) {
+		t.Fatalf("all resolved to %d ids", len(all))
+	}
+	ids := resolveIDs("fig2a, fig3b ,,fig7d")
+	if len(ids) != 3 || ids[0] != "fig2a" || ids[1] != "fig3b" || ids[2] != "fig7d" {
+		t.Fatalf("resolveIDs = %v", ids)
+	}
+}
+
+// End-to-end smoke: resolved IDs must all be runnable specs.
+func TestAllIDsResolve(t *testing.T) {
+	for _, id := range resolveIDs("all") {
+		if _, err := experiments.SpecByID(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

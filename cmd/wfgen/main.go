@@ -1,0 +1,62 @@
+// Command wfgen emits synthetic scientific workflows in the wfio text
+// format or Graphviz DOT, for inspection or as input to wfsched and
+// evaluate.
+//
+// Example:
+//
+//	wfgen -workflow CyberShake -n 150 -seed 7 > cs150.wf
+//	wfgen -workflow Montage -n 60 -format dot | dot -Tpng > montage.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dag"
+	"repro/internal/dax"
+	"repro/internal/pwg"
+	"repro/internal/wfio"
+)
+
+func main() {
+	var (
+		workflow = flag.String("workflow", "Montage", "Montage|CyberShake|Ligo|Genome|Random")
+		n        = flag.Int("n", 100, "task count")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		format   = flag.String("format", "wf", "output format: wf|dot|dax")
+		cost     = flag.Float64("cost", 0, "set c=r=cost·w before emitting (0: leave zero)")
+	)
+	flag.Parse()
+	if err := run(*workflow, *n, *seed, *format, *cost); err != nil {
+		fmt.Fprintln(os.Stderr, "wfgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workflow string, n int, seed uint64, format string, cost float64) error {
+	wf, err := pwg.ParseWorkflow(workflow)
+	if err != nil {
+		return err
+	}
+	g, err := pwg.Generate(wf, n, seed)
+	if err != nil {
+		return err
+	}
+	if cost > 0 {
+		g.ScaleCkptCosts(func(t dag.Task) (float64, float64) {
+			return cost * t.Weight, cost * t.Weight
+		})
+	}
+	switch format {
+	case "dot":
+		fmt.Print(g.DOT(wf.String(), nil))
+		return nil
+	case "wf":
+		return wfio.Write(os.Stdout, g, nil, nil)
+	case "dax":
+		return dax.Write(os.Stdout, wf.String(), g)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/dax"
+	"repro/internal/wfio"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	var out strings.Builder
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := r.Read(buf)
+		out.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	r.Close()
+	return out.String(), errRun
+}
+
+func TestWFOutputParsesBack(t *testing.T) {
+	out, err := capture(t, func() error { return run("Ligo", 60, 3, "wf", 0.1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := wfio.Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("emitted workflow does not parse: %v\n%s", err, out[:200])
+	}
+	if f.Graph.N() != 60 {
+		t.Fatalf("parsed %d tasks", f.Graph.N())
+	}
+	// -cost 0.1 must be baked in.
+	if f.Graph.CkptCost(0) != 0.1*f.Graph.Weight(0) {
+		t.Fatal("cost flag not applied")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	out, err := capture(t, func() error { return run("Montage", 40, 1, "dot", 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "->") {
+		t.Fatalf("not DOT:\n%s", out[:120])
+	}
+}
+
+func TestDAXOutputParsesBack(t *testing.T) {
+	out, err := capture(t, func() error { return run("Genome", 50, 2, "dax", 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dax.Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("emitted DAX does not parse: %v", err)
+	}
+	if g.N() != 50 {
+		t.Fatalf("parsed %d tasks", g.N())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := capture(t, func() error { return run("Bogus", 40, 1, "wf", 0) }); err == nil {
+		t.Fatal("unknown workflow accepted")
+	}
+	if _, err := capture(t, func() error { return run("Montage", 40, 1, "xml", 0) }); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := capture(t, func() error { return run("Montage", 2, 1, "wf", 0) }); err == nil {
+		t.Fatal("tiny n accepted")
+	}
+}

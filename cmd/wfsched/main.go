@@ -1,0 +1,152 @@
+// Command wfsched schedules one workflow on a failure-prone platform
+// with the paper's heuristics and reports the expected makespans.
+//
+// The workflow is either generated (-workflow/-n/-seed) or read from
+// a file (-in): wfio text format, or Pegasus DAX XML when the file
+// name ends in .dax/.xml. The checkpoint-cost model is applied on top
+// unless -cost keep is given.
+//
+// Examples:
+//
+//	wfsched -workflow Montage -n 100 -lambda 1e-3
+//	wfsched -workflow Ligo -n 200 -heuristic DF-CkptW -mc 5000
+//	wfsched -in my.wf -cost keep -heuristic all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/dag"
+	"repro/internal/dax"
+	"repro/internal/failure"
+	"repro/internal/pwg"
+	"repro/internal/sched"
+	"repro/internal/simulator"
+	"repro/internal/wfio"
+)
+
+func main() {
+	var (
+		workflow  = flag.String("workflow", "Montage", "Montage|CyberShake|Ligo|Genome|Random")
+		n         = flag.Int("n", 100, "task count for generated workflows")
+		seed      = flag.Uint64("seed", 1, "generator / RF seed")
+		in        = flag.String("in", "", "read workflow from file instead of generating")
+		lambda    = flag.Float64("lambda", 0, "failure rate (0 = workflow default)")
+		downtime  = flag.Float64("downtime", 0, "downtime D after each failure")
+		cost      = flag.String("cost", "0.1w", "checkpoint cost model: 0.1w|0.01w|<k>s|keep")
+		heuristic = flag.String("heuristic", "all", "heuristic name (e.g. DF-CkptW) or 'all'")
+		grid      = flag.Int("grid", 0, "N-search grid (0 = exhaustive)")
+		mc        = flag.Int("mc", 0, "Monte-Carlo trials to cross-check the best schedule")
+		dot       = flag.String("dot", "", "write the best schedule's DAG as DOT to this file")
+	)
+	flag.Parse()
+	if err := run(*workflow, *n, *seed, *in, *lambda, *downtime, *cost, *heuristic, *grid, *mc, *dot); err != nil {
+		fmt.Fprintln(os.Stderr, "wfsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workflow string, n int, seed uint64, in string, lambda, downtime float64,
+	cost, heuristic string, grid, mc int, dot string) error {
+	var g *dag.Graph
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if strings.HasSuffix(in, ".dax") || strings.HasSuffix(in, ".xml") {
+			g, err = dax.Parse(f)
+			if err != nil {
+				return err
+			}
+		} else {
+			parsed, err := wfio.Parse(f)
+			if err != nil {
+				return err
+			}
+			g = parsed.Graph
+		}
+	} else {
+		wf, err := pwg.ParseWorkflow(workflow)
+		if err != nil {
+			return err
+		}
+		g, err = pwg.Generate(wf, n, seed)
+		if err != nil {
+			return err
+		}
+		if lambda == 0 {
+			lambda = wf.DefaultLambda()
+		}
+	}
+	if lambda == 0 {
+		lambda = 1e-3
+	}
+	if err := applyCost(g, cost); err != nil {
+		return err
+	}
+	plat := failure.Platform{Lambda: lambda, Downtime: downtime}
+	if err := plat.Validate(); err != nil {
+		return err
+	}
+
+	opts := sched.Options{RFSeed: seed, Grid: grid}
+	var hs []sched.Heuristic
+	if heuristic == "all" {
+		hs = sched.Paper14(opts)
+	} else {
+		h, err := sched.ByName(heuristic, opts)
+		if err != nil {
+			return err
+		}
+		hs = []sched.Heuristic{h}
+	}
+
+	fmt.Printf("workflow: %v  (λ=%g, D=%g, T_inf=%.4g)\n\n", g, lambda, downtime, g.TotalWeight())
+	results := sched.RunAll(hs, g, plat)
+	sort.SliceStable(results, func(i, j int) bool { return results[i].Expected < results[j].Expected })
+	fmt.Printf("%-14s %14s %10s %8s\n", "heuristic", "E[makespan]", "T/Tinf", "#ckpt")
+	for _, r := range results {
+		fmt.Printf("%-14s %14.4f %10.4f %8d\n", r.Name, r.Expected, r.Ratio, r.Schedule.NumCheckpointed())
+	}
+
+	best := results[0]
+	if mc > 0 {
+		acc, avgFail := simulator.Batch(best.Schedule, plat, seed+99, mc)
+		fmt.Printf("\nMonte-Carlo (%d trials) of %s: mean=%.4f ±%.4f (99%% CI), analytic=%.4f, avg failures/run=%.2f\n",
+			mc, best.Name, acc.Mean(), acc.CI(0.99), best.Expected, avgFail)
+	}
+	if dot != "" {
+		if err := os.WriteFile(dot, []byte(g.DOT(best.Name, best.Schedule.Ckpt)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", dot)
+	}
+	return nil
+}
+
+func applyCost(g *dag.Graph, model string) error {
+	switch {
+	case model == "keep":
+		return nil
+	case model == "0.1w":
+		g.ScaleCkptCosts(func(t dag.Task) (float64, float64) { return 0.1 * t.Weight, 0.1 * t.Weight })
+	case model == "0.01w":
+		g.ScaleCkptCosts(func(t dag.Task) (float64, float64) { return 0.01 * t.Weight, 0.01 * t.Weight })
+	case strings.HasSuffix(model, "s"):
+		k, err := strconv.ParseFloat(strings.TrimSuffix(model, "s"), 64)
+		if err != nil || k < 0 {
+			return fmt.Errorf("bad constant cost %q", model)
+		}
+		g.ScaleCkptCosts(func(dag.Task) (float64, float64) { return k, k })
+	default:
+		return fmt.Errorf("unknown cost model %q (want 0.1w, 0.01w, <k>s or keep)", model)
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+// capture redirects stdout while fn runs and returns what was printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), errRun
+}
+
+func TestRunGeneratedAllHeuristics(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("CyberShake", 50, 1, "", 0, 0, "0.1w", "all", 10, 0, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"DF-CkptW", "RF-CkptPer", "DF-CkptNvr", "T/Tinf"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunSingleHeuristicWithMC(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("Montage", 40, 2, "", 1e-3, 1, "0.01w", "DF-CkptW", 8, 500, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Monte-Carlo") || !strings.Contains(out, "DF-CkptW") {
+		t.Fatalf("missing MC section:\n%s", out)
+	}
+	if strings.Contains(out, "BF-CkptW") {
+		t.Fatal("single-heuristic run printed other heuristics")
+	}
+}
+
+func TestRunFromFileAndDOT(t *testing.T) {
+	dir := t.TempDir()
+	wf := filepath.Join(dir, "g.wf")
+	content := "task a 30 3 3\ntask b 50 5 5\ntask c 20 2 2\nedge a b\nedge a c\n"
+	if err := os.WriteFile(wf, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dot := filepath.Join(dir, "g.dot")
+	out, err := capture(t, func() error {
+		return run("", 0, 1, wf, 5e-3, 0, "keep", "all", 0, 0, dot)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "n=3") {
+		t.Fatalf("file workflow not loaded:\n%s", out)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph") {
+		t.Fatal("DOT output missing")
+	}
+}
+
+func TestRunFromDAXFile(t *testing.T) {
+	dir := t.TempDir()
+	daxFile := filepath.Join(dir, "w.dax")
+	doc := `<adag name="t">
+  <job id="A" name="prep" runtime="30"/>
+  <job id="B" name="work" runtime="50"/>
+  <child ref="B"><parent ref="A"/></child>
+</adag>`
+	if err := os.WriteFile(daxFile, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run("", 0, 1, daxFile, 1e-3, 0, "0.1w", "DF-CkptW", 0, 0, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "n=2") {
+		t.Fatalf("DAX workflow not loaded:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	silent := func(fn func() error) error {
+		_, err := capture(t, fn)
+		return err
+	}
+	if err := silent(func() error {
+		return run("Nope", 50, 1, "", 0, 0, "0.1w", "all", 0, 0, "")
+	}); err == nil {
+		t.Fatal("unknown workflow accepted")
+	}
+	if err := silent(func() error {
+		return run("Montage", 50, 1, "", 0, 0, "bogus", "all", 0, 0, "")
+	}); err == nil {
+		t.Fatal("bad cost model accepted")
+	}
+	if err := silent(func() error {
+		return run("Montage", 50, 1, "", 0, 0, "0.1w", "XF-CkptQ", 0, 0, "")
+	}); err == nil {
+		t.Fatal("unknown heuristic accepted")
+	}
+	if err := silent(func() error {
+		return run("Montage", 50, 1, "", -4, 0, "0.1w", "all", 0, 0, "")
+	}); err == nil {
+		t.Fatal("negative λ accepted")
+	}
+	if err := silent(func() error {
+		return run("", 0, 1, "/nonexistent/x.wf", 0, 0, "keep", "all", 0, 0, "")
+	}); err == nil {
+		t.Fatal("missing input file accepted")
+	}
+}
+
+func TestApplyCost(t *testing.T) {
+	g := dag.Chain([]float64{10}, nil)
+	if err := applyCost(g, "7.5s"); err != nil {
+		t.Fatal(err)
+	}
+	if g.CkptCost(0) != 7.5 || g.RecCost(0) != 7.5 {
+		t.Fatalf("constant cost wrong: %v", g.CkptCost(0))
+	}
+	if err := applyCost(g, "0.1w"); err != nil {
+		t.Fatal(err)
+	}
+	if g.CkptCost(0) != 1 {
+		t.Fatalf("proportional cost wrong: %v", g.CkptCost(0))
+	}
+	before := g.CkptCost(0)
+	if err := applyCost(g, "keep"); err != nil {
+		t.Fatal(err)
+	}
+	if g.CkptCost(0) != before {
+		t.Fatal("keep modified costs")
+	}
+	if err := applyCost(g, "-3s"); err == nil {
+		t.Fatal("negative constant accepted")
+	}
+}

@@ -1,0 +1,22 @@
+// Package repro reproduces "Scheduling computational workflows on
+// failure-prone platforms" (Aupy, Benoit, Casanova, Robert — INRIA
+// RR-8609 / IPDPS 2015) as a Go library.
+//
+// The library lives under internal/: the Theorem 3 schedule evaluator
+// (internal/core), the failure model (internal/failure), the workflow
+// DAG substrate (internal/dag), exact algorithms for forks, joins and
+// chains (internal/fork, internal/join, internal/chains), the
+// NP-completeness reduction (internal/npc), the Section 5 heuristics
+// (internal/sched), Pegasus-like workflow generators (internal/pwg),
+// a Monte-Carlo fault-injection simulator (internal/simulator), and
+// the Section 6 experiment harness (internal/experiments).
+//
+// Binaries: cmd/experiments regenerates every figure of the paper;
+// cmd/wfsched schedules one workflow with the paper's heuristics;
+// cmd/wfgen emits synthetic workflows; cmd/evaluate computes the
+// expected makespan of a user-supplied schedule.
+//
+// The benchmarks in bench_test.go regenerate one data point of every
+// figure (fig2a..fig7d) plus micro-benchmarks of the evaluator, the
+// simulator and the generators.
+package repro

@@ -1,0 +1,59 @@
+// Chain study: on linear chains the checkpoint-placement problem is
+// solvable exactly (Toueg–Babaoğlu dynamic programming, the prior
+// work the paper generalizes). This example compares, across failure
+// rates, the DP optimum against the paper's general-DAG heuristics
+// and the two baselines — showing (a) that the heuristics are
+// near-optimal on chains and (b) how the optimal number of
+// checkpoints grows with the failure rate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/chains"
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func main() {
+	// A 40-task chain with irregular weights (mean 100 s).
+	r := rng.New(7)
+	ws := make([]float64, 40)
+	for i := range ws {
+		ws[i] = r.Uniform(20, 180)
+	}
+	g := dag.Chain(ws, dag.UniformCosts(0.1))
+	tinf := g.TotalWeight()
+	fmt.Printf("chain: %d tasks, T_inf = %.0f s, c = r = 0.1w\n\n", len(ws), tinf)
+
+	fmt.Printf("%-10s %12s %10s %12s %12s %12s\n",
+		"lambda", "DP-optimum", "#ckpt", "DF-CkptW", "CkptNvr", "CkptAlws")
+	for _, lambda := range []float64{1e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2} {
+		plat := failure.Platform{Lambda: lambda}
+		_, sol, err := chains.Solve(g, plat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nCkpt := 0
+		for _, b := range sol.Ckpt {
+			if b {
+				nCkpt++
+			}
+		}
+		hw := sched.Heuristic{Lin: sched.DF{}, Strat: sched.NewCkptW(0)}.Run(g, plat)
+		nvr := sched.Heuristic{Lin: sched.DF{}, Strat: sched.CkptNvr{}}.Run(g, plat)
+		alw := sched.Heuristic{Lin: sched.DF{}, Strat: sched.CkptAlws{}}.Run(g, plat)
+		fmt.Printf("%-10.0e %12.1f %10d %12.1f %12.1f %12.1f\n",
+			lambda, sol.Expected, nCkpt, hw.Expected, nvr.Expected, alw.Expected)
+		if hw.Expected < sol.Expected-1e-6 {
+			log.Fatalf("heuristic beat the proven optimum — impossible")
+		}
+	}
+	fmt.Println("\nReading: the optimum checkpoints nothing when failures are rare,")
+	fmt.Println("everything when they are frequent; the paper's DF-CkptW heuristic")
+	fmt.Println("(which searches the checkpoint count with the Theorem 3 evaluator)")
+	fmt.Println("tracks the DP optimum closely across the whole range.")
+}

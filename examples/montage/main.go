@@ -1,0 +1,78 @@
+// Montage study: generate a Montage-shaped astronomy workflow (the
+// NASA/IPAC mosaic application the paper evaluates), run all 14
+// heuristics of the paper on it, and report the ranking plus the
+// checkpoint placement chosen by the winner — the experiment behind
+// Figure 3a at a single size.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/pwg"
+	"repro/internal/sched"
+)
+
+func main() {
+	const (
+		n    = 150
+		seed = 2026
+	)
+	g, err := pwg.Generate(pwg.Montage, n, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The paper's main cost model: checkpointing a task costs a tenth
+	// of its runtime, recovery likewise.
+	g.ScaleCkptCosts(func(t dag.Task) (float64, float64) {
+		return 0.1 * t.Weight, 0.1 * t.Weight
+	})
+	plat := failure.Platform{Lambda: pwg.Montage.DefaultLambda()}
+
+	fmt.Printf("Montage workflow: %v\n", g)
+	fmt.Printf("platform: %v  (MTBF %.0f s)\n\n", plat, plat.MTBF())
+
+	results := sched.RunAll(sched.Paper14(sched.Options{RFSeed: seed}), g, plat)
+	sort.SliceStable(results, func(i, j int) bool { return results[i].Expected < results[j].Expected })
+
+	fmt.Printf("%-14s %12s %8s %7s\n", "heuristic", "E[makespan]", "T/Tinf", "#ckpt")
+	for _, r := range results {
+		fmt.Printf("%-14s %12.1f %8.4f %7d\n",
+			r.Name, r.Expected, r.Ratio, r.Schedule.NumCheckpointed())
+	}
+
+	best := results[0]
+	fmt.Printf("\nwinner: %s — checkpoints by task type:\n", best.Name)
+	byType := map[string][2]int{} // type → {checkpointed, total}
+	for id := 0; id < g.N(); id++ {
+		typ := taskType(g.Name(id))
+		c := byType[typ]
+		c[1]++
+		if best.Schedule.Ckpt[id] {
+			c[0]++
+		}
+		byType[typ] = c
+	}
+	types := make([]string, 0, len(byType))
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		c := byType[t]
+		fmt.Printf("  %-14s %3d/%3d\n", t, c[0], c[1])
+	}
+}
+
+// taskType strips the instance suffix from a generated task name.
+func taskType(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '_' {
+			return name[:i]
+		}
+	}
+	return name
+}

@@ -1,0 +1,158 @@
+package repro
+
+// End-to-end integration tests exercising the full pipeline the way
+// cmd/experiments does: generate a workload family → linearize →
+// search checkpoints with the Theorem 3 evaluator → validate the
+// winning schedule against the independent fault-injection simulator
+// and the provable lower bound.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/chains"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/pwg"
+	"repro/internal/refine"
+	"repro/internal/sched"
+	"repro/internal/simulator"
+	"repro/internal/stats"
+	"repro/internal/wfio"
+)
+
+func TestEndToEndEveryWorkflowFamily(t *testing.T) {
+	for _, wf := range []pwg.Workflow{pwg.Montage, pwg.CyberShake, pwg.Ligo, pwg.Genome} {
+		wf := wf
+		t.Run(wf.String(), func(t *testing.T) {
+			t.Parallel()
+			g, err := pwg.Generate(wf, 80, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.ScaleCkptCosts(func(tk dag.Task) (float64, float64) {
+				return 0.1 * tk.Weight, 0.1 * tk.Weight
+			})
+			plat := failure.Platform{Lambda: wf.DefaultLambda()}
+			results := sched.RunAll(sched.Paper14(sched.Options{RFSeed: 17, Grid: 20}), g, plat)
+			best := sched.Best(results)
+
+			// 1. The winner beats both baselines.
+			for _, r := range results {
+				if r.Name == "DF-CkptNvr" || r.Name == "DF-CkptAlws" {
+					if best.Expected > r.Expected+1e-9 {
+						t.Fatalf("best %s (%v) lost to baseline %s (%v)",
+							best.Name, best.Expected, r.Name, r.Expected)
+					}
+				}
+			}
+			// 2. Above the provable lower bound.
+			lb := core.LowerBound(g, plat)
+			if best.Expected < lb-1e-9 {
+				t.Fatalf("best %v below lower bound %v", best.Expected, lb)
+			}
+			// 3. The simulator agrees with the analytic value.
+			acc, _ := simulator.Batch(best.Schedule, plat, 99, 20000)
+			if math.Abs(acc.Mean()-best.Expected) > 5*acc.CI(0.99) {
+				t.Fatalf("simulated %v ± %v vs analytic %v",
+					acc.Mean(), acc.CI(0.99), best.Expected)
+			}
+			// 4. Local search never worsens and stays above the bound.
+			res := refine.Improve(best.Schedule, plat, refine.Options{MaxEvals: 500})
+			if res.Expected > best.Expected+1e-9 || res.Expected < lb-1e-9 {
+				t.Fatalf("refinement out of range: %v (base %v, lb %v)",
+					res.Expected, best.Expected, lb)
+			}
+		})
+	}
+}
+
+func TestPipelineDeterminism(t *testing.T) {
+	runOnce := func() []float64 {
+		g, err := pwg.Generate(pwg.Ligo, 60, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.ScaleCkptCosts(func(tk dag.Task) (float64, float64) {
+			return 0.1 * tk.Weight, 0.1 * tk.Weight
+		})
+		plat := failure.Platform{Lambda: 1e-3}
+		var vals []float64
+		for _, r := range sched.RunAll(sched.Paper14(sched.Options{RFSeed: 5, Grid: 10}), g, plat) {
+			vals = append(vals, r.Expected)
+		}
+		return vals
+	}
+	a, b := runOnce(), runOnce()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pipeline not deterministic at heuristic %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// A schedule exported through the wfio text format and re-imported
+// must evaluate to the identical expected makespan.
+func TestScheduleSurvivesSerialization(t *testing.T) {
+	g, err := pwg.Generate(pwg.Montage, 70, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ScaleCkptCosts(func(tk dag.Task) (float64, float64) {
+		return 0.1 * tk.Weight, 0.1 * tk.Weight
+	})
+	plat := failure.Platform{Lambda: 1e-3}
+	best := sched.Heuristic{Lin: sched.DF{}, Strat: sched.NewCkptW(15)}.Run(g, plat)
+
+	var buf bytes.Buffer
+	if err := wfio.Write(&buf, g, best.Schedule.Order, best.Schedule.Ckpt); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := wfio.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := parsed.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := core.Eval(s2, plat); stats.RelDiff(got, best.Expected) > 1e-12 {
+		t.Fatalf("round-tripped schedule evaluates to %v, original %v", got, best.Expected)
+	}
+}
+
+// The three exact solvers and the general machinery must agree on
+// their common ground: a 2-task chain is simultaneously a chain, a
+// degenerate fork and a degenerate join.
+func TestExactSolversAgreeOnCommonGround(t *testing.T) {
+	g := dag.Chain([]float64{40, 25}, dag.UniformCosts(0.2))
+	plat := failure.Platform{Lambda: 5e-3, Downtime: 1}
+
+	// Optimal over both linearizations... there is only one; compare
+	// the best checkpoint decision from each solver.
+	bestByMask := math.Inf(1)
+	for _, ck := range [][]bool{{false, false}, {true, false}, {false, true}, {true, true}} {
+		s, err := core.NewSchedule(g, []int{0, 1}, ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := core.Eval(s, plat); v < bestByMask {
+			bestByMask = v
+		}
+	}
+	if bestByMask == math.Inf(1) {
+		t.Fatal("no schedules evaluated")
+	}
+	// The chain DP must match the enumerated optimum exactly (the DP
+	// never checkpoints the final task — pure overhead — and the
+	// enumeration agrees since c > 0).
+	_, sol, err := chains.Solve(g, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelDiff(sol.Expected, bestByMask) > 1e-9 {
+		t.Fatalf("chain DP %v vs enumerated optimum %v", sol.Expected, bestByMask)
+	}
+}

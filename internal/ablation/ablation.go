@@ -1,0 +1,214 @@
+// Package ablation quantifies the design choices behind the paper's
+// heuristics, beyond what the paper itself reports:
+//
+//   - GridResolution: how much quality the -quick mode's coarse
+//     checkpoint-count grid sacrifices versus the paper's exhaustive
+//     N = 1..n−1 search;
+//   - Priority: how much the out-weight priority of DF/BF matters
+//     versus breaking ties arbitrarily (by task ID);
+//   - Extensions: what the greedy checkpoint insertion and the
+//     local-search refinement (packages sched/refine) buy over the
+//     paper's best ranked strategy, measured against the provable
+//     lower bound of core.LowerBound.
+//
+// Each study returns a report.Figure so cmd/ablation can print/save
+// it exactly like the paper figures.
+package ablation
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/pwg"
+	"repro/internal/refine"
+	"repro/internal/report"
+	"repro/internal/sched"
+)
+
+// Config mirrors experiments.Config for the ablation studies.
+type Config struct {
+	Seed  uint64
+	Sizes []int
+}
+
+func (c Config) sizes() []int {
+	if c.Sizes != nil {
+		return c.Sizes
+	}
+	return []int{50, 100, 200, 400}
+}
+
+// prepared bundles one workload instance.
+type prepared struct {
+	g    *dag.Graph
+	plat failure.Platform
+	tinf float64
+}
+
+func prepare(wf pwg.Workflow, n int, seed uint64) (prepared, error) {
+	g, err := pwg.Generate(wf, n, seed^uint64(n)*0x9e3779b97f4a7c15)
+	if err != nil {
+		return prepared{}, err
+	}
+	g.ScaleCkptCosts(func(t dag.Task) (float64, float64) {
+		return 0.1 * t.Weight, 0.1 * t.Weight
+	})
+	return prepared{
+		g:    g,
+		plat: failure.Platform{Lambda: wf.DefaultLambda()},
+		tinf: g.TotalWeight(),
+	}, nil
+}
+
+// GridResolution sweeps the N-search grid size for DF-CkptW and
+// reports T/T_inf per grid, plus the exhaustive search, at each
+// workflow size. Series: grid=4, 16, 64, exhaustive.
+func GridResolution(wf pwg.Workflow, cfg Config) (*report.Figure, error) {
+	grids := []int{4, 16, 64, 0} // 0 = exhaustive
+	fig := &report.Figure{
+		ID:     fmt.Sprintf("ablation-grid-%s", wf),
+		Title:  fmt.Sprintf("%s: N-search grid resolution (DF-CkptW, c=0.1w)", wf),
+		XLabel: "tasks",
+	}
+	ys := make([][]float64, len(grids))
+	for _, n := range cfg.sizes() {
+		p, err := prepare(wf, n, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		fig.X = append(fig.X, float64(n))
+		ev := core.NewEvaluator()
+		order := sched.DF{}.Linearize(p.g)
+		for gi, grid := range grids {
+			_, v := sched.NewCkptW(grid).Apply(p.g, p.plat, order, ev)
+			ys[gi] = append(ys[gi], v/p.tinf)
+		}
+	}
+	for gi, grid := range grids {
+		name := fmt.Sprintf("grid=%d", grid)
+		if grid == 0 {
+			name = "exhaustive"
+		}
+		if err := fig.AddSeries(name, ys[gi]); err != nil {
+			return nil, err
+		}
+	}
+	return fig, nil
+}
+
+// Priority compares the out-weight priority of the DF linearizer
+// against an ID-order tie-break (no priority) under DF-CkptW.
+func Priority(wf pwg.Workflow, cfg Config) (*report.Figure, error) {
+	fig := &report.Figure{
+		ID:     fmt.Sprintf("ablation-priority-%s", wf),
+		Title:  fmt.Sprintf("%s: DF out-weight priority vs none (CkptW, c=0.1w)", wf),
+		XLabel: "tasks",
+	}
+	var withP, withoutP []float64
+	for _, n := range cfg.sizes() {
+		p, err := prepare(wf, n, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		fig.X = append(fig.X, float64(n))
+		ev := core.NewEvaluator()
+		strat := sched.NewCkptW(0)
+		_, v1 := strat.Apply(p.g, p.plat, sched.DF{}.Linearize(p.g), ev)
+		withP = append(withP, v1/p.tinf)
+		// Neutralize the priority: a graph clone whose weights are
+		// hidden from the priority function is not expressible, so we
+		// instead use the no-priority DF: plain LIFO over ready tasks
+		// in ID order, which is what DF degenerates to when all
+		// priorities tie.
+		_, v2 := strat.Apply(p.g, p.plat, dfNoPriority(p.g), ev)
+		withoutP = append(withoutP, v2/p.tinf)
+	}
+	if err := fig.AddSeries("outweight", withP); err != nil {
+		return nil, err
+	}
+	if err := fig.AddSeries("no-priority", withoutP); err != nil {
+		return nil, err
+	}
+	return fig, nil
+}
+
+// dfNoPriority is DF with all priorities equal (pure LIFO, ID order
+// among simultaneously enabled tasks).
+func dfNoPriority(g *dag.Graph) []int {
+	n := g.N()
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = g.InDegree(i)
+	}
+	var stack []int
+	srcs := g.Sources()
+	for i := len(srcs) - 1; i >= 0; i-- {
+		stack = append(stack, srcs[i])
+	}
+	order := make([]int, 0, n)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, v)
+		for i := len(g.Succs(v)) - 1; i >= 0; i-- {
+			s := g.Succs(v)[i]
+			indeg[s]--
+			if indeg[s] == 0 {
+				stack = append(stack, s)
+			}
+		}
+	}
+	return order
+}
+
+// Extensions compares the paper's best ranked strategy (DF-CkptW)
+// against the greedy insertion and hill-climbing refinement
+// extensions, all normalized by the provable lower bound — an upper
+// bound on each strategy's true optimality gap. Greedy runs with an
+// unrestricted candidate pool, which costs O(k·n) evaluations for k
+// inserted checkpoints; the default sizes therefore stop at 200
+// tasks (a bounded pool is cheaper but caps the checkpoint count,
+// which cripples greedy on failure-heavy instances — the very
+// finding this study exists to document).
+func Extensions(wf pwg.Workflow, cfg Config) (*report.Figure, error) {
+	fig := &report.Figure{
+		ID:     fmt.Sprintf("ablation-extensions-%s", wf),
+		Title:  fmt.Sprintf("%s: extensions vs paper heuristic, T/LB (c=0.1w)", wf),
+		XLabel: "tasks",
+	}
+	sizes := cfg.Sizes
+	if sizes == nil {
+		sizes = []int{50, 100, 200}
+	}
+	var base, greedy, refined []float64
+	for _, n := range sizes {
+		p, err := prepare(wf, n, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		fig.X = append(fig.X, float64(n))
+		lb := core.LowerBound(p.g, p.plat)
+		ev := core.NewEvaluator()
+		order := sched.DF{}.Linearize(p.g)
+
+		sW, vW := sched.NewCkptW(0).Apply(p.g, p.plat, order, ev)
+		base = append(base, vW/lb)
+
+		_, vG := sched.CkptGreedy{}.Apply(p.g, p.plat, order, ev)
+		greedy = append(greedy, vG/lb)
+
+		res := refine.Improve(sW, p.plat, refine.Options{MaxEvals: 20 * n})
+		refined = append(refined, res.Expected/lb)
+	}
+	for _, s := range []struct {
+		name string
+		y    []float64
+	}{{"DF-CkptW", base}, {"CkptGreedy", greedy}, {"CkptW+refine", refined}} {
+		if err := fig.AddSeries(s.name, s.y); err != nil {
+			return nil, err
+		}
+	}
+	return fig, nil
+}

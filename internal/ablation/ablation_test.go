@@ -1,0 +1,109 @@
+package ablation
+
+import (
+	"testing"
+
+	"repro/internal/pwg"
+)
+
+var fastCfg = Config{Seed: 3, Sizes: []int{40, 80}}
+
+func TestGridResolution(t *testing.T) {
+	fig, err := GridResolution(pwg.CyberShake, fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 || len(fig.X) != 2 {
+		t.Fatalf("series/X = %d/%d", len(fig.Series), len(fig.X))
+	}
+	// The exhaustive series must be the (weak) minimum everywhere.
+	var exhaustive []float64
+	for _, s := range fig.Series {
+		if s.Name == "exhaustive" {
+			exhaustive = s.Y
+		}
+	}
+	if exhaustive == nil {
+		t.Fatal("no exhaustive series")
+	}
+	for _, s := range fig.Series {
+		for i := range s.Y {
+			if s.Y[i] < exhaustive[i]-1e-9 {
+				t.Fatalf("%s beats the exhaustive search at x=%v", s.Name, fig.X[i])
+			}
+		}
+	}
+	// And the coarse grid should still be within 10% of exhaustive
+	// (the finding that justifies -quick mode).
+	for _, s := range fig.Series {
+		if s.Name == "grid=16" {
+			for i := range s.Y {
+				if s.Y[i] > exhaustive[i]*1.10 {
+					t.Fatalf("grid=16 more than 10%% off exhaustive at x=%v", fig.X[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPriority(t *testing.T) {
+	fig, err := Priority(pwg.Ligo, fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		for i, v := range s.Y {
+			if v < 1 {
+				t.Fatalf("%s[%d] = %v below 1", s.Name, i, v)
+			}
+		}
+	}
+}
+
+func TestExtensions(t *testing.T) {
+	fig, err := Extensions(pwg.Montage, fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]float64{}
+	for _, s := range fig.Series {
+		byName[s.Name] = s.Y
+	}
+	base := byName["DF-CkptW"]
+	refined := byName["CkptW+refine"]
+	if base == nil || refined == nil || byName["CkptGreedy"] == nil {
+		t.Fatalf("missing series: %v", fig.Summary())
+	}
+	for i := range base {
+		// Refinement starts from the base schedule: never worse.
+		if refined[i] > base[i]+1e-9 {
+			t.Fatalf("refined worse than base at x=%v", fig.X[i])
+		}
+		// Everything is ≥ 1 relative to the lower bound.
+		if base[i] < 1 || refined[i] < 1 || byName["CkptGreedy"][i] < 1 {
+			t.Fatalf("a strategy dipped below the provable lower bound at x=%v", fig.X[i])
+		}
+	}
+}
+
+func TestGeneratorErrorsPropagate(t *testing.T) {
+	bad := Config{Seed: 1, Sizes: []int{3}}
+	if _, err := GridResolution(pwg.Montage, bad); err == nil {
+		t.Fatal("tiny size accepted")
+	}
+	if _, err := Priority(pwg.Montage, bad); err == nil {
+		t.Fatal("tiny size accepted")
+	}
+	if _, err := Extensions(pwg.Montage, bad); err == nil {
+		t.Fatal("tiny size accepted")
+	}
+}
+
+func TestDefaultSizes(t *testing.T) {
+	if got := (Config{}).sizes(); len(got) != 4 || got[0] != 50 {
+		t.Fatalf("default sizes = %v", got)
+	}
+}

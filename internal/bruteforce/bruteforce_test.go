@@ -1,0 +1,141 @@
+package bruteforce
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/stats"
+)
+
+var plat = failure.Platform{Lambda: 0.01, Downtime: 1}
+
+func TestSolveChainExhaustive(t *testing.T) {
+	g := dag.Chain([]float64{30, 10, 50}, dag.UniformCosts(0.1))
+	res, err := Solve(g, plat, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Fatal("tiny chain not exhausted")
+	}
+	// One linearization × 8 masks.
+	if res.Evaluated != 8 {
+		t.Fatalf("evaluated %d schedules, want 8", res.Evaluated)
+	}
+	if got := core.Eval(res.Schedule, plat); stats.RelDiff(got, res.Expected) > 1e-12 {
+		t.Fatalf("reported value %v but evaluator says %v", res.Expected, got)
+	}
+}
+
+func TestSolveCountsLinearizations(t *testing.T) {
+	// Two independent tasks: 2 linearizations × 4 masks = 8.
+	g := dag.New()
+	g.AddTask(dag.Task{Weight: 1})
+	g.AddTask(dag.Task{Weight: 2})
+	res, err := Solve(g, plat, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 8 || !res.Exhausted {
+		t.Fatalf("evaluated %d (exhausted=%v), want 8 exhausted", res.Evaluated, res.Exhausted)
+	}
+
+	// Diamond 0→{1,2}→3: 2 linearizations × 16 masks = 32.
+	d := dag.New()
+	for i := 0; i < 4; i++ {
+		d.AddTask(dag.Task{Weight: float64(i + 1)})
+	}
+	d.MustAddEdge(0, 1)
+	d.MustAddEdge(0, 2)
+	d.MustAddEdge(1, 3)
+	d.MustAddEdge(2, 3)
+	res, err = Solve(d, plat, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 32 || !res.Exhausted {
+		t.Fatalf("diamond evaluated %d (exhausted=%v), want 32", res.Evaluated, res.Exhausted)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	g := dag.Fork([]float64{10, 1, 2, 3, 4, 5}, dag.UniformCosts(0.1))
+	res, err := Solve(g, plat, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exhausted {
+		t.Fatal("120 linearizations × 64 masks cannot fit in budget 100")
+	}
+	if res.Evaluated != 100 {
+		t.Fatalf("evaluated %d, want exactly the budget 100", res.Evaluated)
+	}
+	if res.Schedule == nil {
+		t.Fatal("no schedule returned despite budget > 0")
+	}
+}
+
+func TestSolveZeroBudget(t *testing.T) {
+	g := dag.Chain([]float64{1}, nil)
+	if _, err := Solve(g, plat, 0); err == nil {
+		t.Fatal("zero budget should error")
+	}
+}
+
+func TestSolveRejectsInvalidGraph(t *testing.T) {
+	if _, err := Solve(dag.New(), plat, 10); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestSolveFixedOrder(t *testing.T) {
+	g := dag.Chain([]float64{30, 10, 50}, dag.UniformCosts(0.1))
+	res, err := SolveFixedOrder(g, plat, []int{0, 1, 2}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 8 || !res.Exhausted {
+		t.Fatalf("evaluated %d, want 8", res.Evaluated)
+	}
+	full, err := Solve(g, plat, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelDiff(res.Expected, full.Expected) > 1e-12 {
+		t.Fatalf("fixed-order %v vs full %v on a chain (single linearization)", res.Expected, full.Expected)
+	}
+	if _, err := SolveFixedOrder(g, plat, []int{2, 1, 0}, 10); err == nil {
+		t.Fatal("invalid order accepted")
+	}
+}
+
+func TestSolveFindsObviousOptimum(t *testing.T) {
+	// Two heavy chained tasks under heavy failures with nearly free
+	// checkpoints: the optimum must checkpoint the first task.
+	g := dag.Chain([]float64{100, 100}, dag.ConstantCosts(0.01))
+	res, err := Solve(g, failure.Platform{Lambda: 0.01}, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedule.Ckpt[0] {
+		t.Fatal("optimum failed to checkpoint the first heavy task")
+	}
+	if res.Schedule.Ckpt[1] {
+		t.Fatal("optimum checkpointed the final task (pure overhead)")
+	}
+}
+
+func TestResultScheduleIsDetachedCopy(t *testing.T) {
+	g := dag.Chain([]float64{5, 5}, dag.UniformCosts(0.1))
+	res, err := Solve(g, plat, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The returned schedule must be stable (not aliased to the search
+	// scratch buffers): re-evaluating yields the reported value.
+	if got := core.Eval(res.Schedule, plat); stats.RelDiff(got, res.Expected) > 1e-12 {
+		t.Fatalf("returned schedule evaluates to %v, reported %v", got, res.Expected)
+	}
+}

@@ -1,0 +1,174 @@
+// Package chains solves DAG-ChkptSched exactly when the workflow is a
+// linear chain, via the dynamic program of Toueg and Babaoğlu ("On
+// the optimum checkpoint selection problem", SIAM J. Comput. 1984),
+// the only previously solved case cited by the paper ([13]).
+//
+// For a chain T_0 → … → T_{n−1} the expected makespan of a checkpoint
+// set decomposes per task: a failure during X_i rolls back to the
+// last checkpointed predecessor a (recovery r_a) and re-executes the
+// non-checkpointed tasks strictly between a and i, so
+//
+//	E[T] = Σ_i E[t(w_i; δ_i c_i; R_i)],
+//	R_i  = r_a + Σ_{a<j<i} w_j   (Σ_{j<i} w_j when no checkpoint yet),
+//
+// which the dynamic program minimizes over checkpoint sets in O(n²).
+package chains
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+)
+
+// Solution is the optimal checkpoint placement for a chain.
+type Solution struct {
+	Ckpt     []bool  // per chain position
+	Expected float64 // expected makespan
+}
+
+// IsChain reports whether g is a linear chain and, if so, returns the
+// task IDs in chain order.
+func IsChain(g *dag.Graph) ([]int, bool) {
+	n := g.N()
+	if n == 0 {
+		return nil, false
+	}
+	src := -1
+	for i := 0; i < n; i++ {
+		if g.InDegree(i) > 1 || g.OutDegree(i) > 1 {
+			return nil, false
+		}
+		if g.InDegree(i) == 0 {
+			if src != -1 {
+				return nil, false
+			}
+			src = i
+		}
+	}
+	if src == -1 {
+		return nil, false
+	}
+	order := make([]int, 0, n)
+	for v := src; ; {
+		order = append(order, v)
+		if g.OutDegree(v) == 0 {
+			break
+		}
+		v = g.Succs(v)[0]
+	}
+	if len(order) != n {
+		return nil, false
+	}
+	return order, true
+}
+
+// Solve returns the optimal checkpoint set for the chain g on
+// platform p. It returns an error if g is not a chain.
+func Solve(g *dag.Graph, p failure.Platform) (*core.Schedule, *Solution, error) {
+	order, ok := IsChain(g)
+	if !ok {
+		return nil, nil, fmt.Errorf("chains: graph %v is not a linear chain", g)
+	}
+	n := len(order)
+	w := make([]float64, n)
+	c := make([]float64, n)
+	r := make([]float64, n)
+	for i, id := range order {
+		t := g.Task(id)
+		w[i], c[i], r[i] = t.Weight, t.CkptCost, t.RecCost
+	}
+
+	// f[a] = minimal expected time of positions a+1..n−1 given that a
+	// is the most recent checkpointed position (a = −1: none, i.e.
+	// rollback re-runs from the chain entry). Stored shifted by one.
+	f := make([]float64, n+1)
+	choice := make([]int, n+1) // next checkpoint position, or n for "none"
+	fAt := func(a int) float64 { return f[a+1] }
+
+	for a := n - 1; a >= -1; a-- {
+		// Base recovery to re-enter position a+1 after a failure.
+		baseRec := 0.0
+		if a >= 0 {
+			baseRec = r[a]
+		}
+		// Option 1: no further checkpoint. Accumulate the per-task
+		// expectations with growing recovery.
+		rec := baseRec
+		noCkpt := 0.0
+		for i := a + 1; i < n; i++ {
+			noCkpt += p.ExpectedTime(w[i], 0, rec)
+			rec += w[i]
+		}
+		best := noCkpt
+		bestB := n
+		// Option 2: next checkpoint at position b. The segment cost
+		// equals the no-checkpoint prefix sum with the b-th term
+		// upgraded from E[t(w_b;0;R)] to E[t(w_b;c_b;R)].
+		rec = baseRec
+		prefix := 0.0
+		for b := a + 1; b < n; b++ {
+			termPlain := p.ExpectedTime(w[b], 0, rec)
+			termCkpt := p.ExpectedTime(w[b], c[b], rec)
+			cand := prefix + termCkpt + fAt(b)
+			if cand < best {
+				best = cand
+				bestB = b
+			}
+			prefix += termPlain
+			rec += w[b]
+		}
+		f[a+1] = best
+		choice[a+1] = bestB
+	}
+
+	ckpt := make([]bool, n)
+	for a := -1; ; {
+		b := choice[a+1]
+		if b >= n {
+			break
+		}
+		ckpt[b] = true
+		a = b
+	}
+	ckptByID := make([]bool, n)
+	for i, id := range order {
+		ckptByID[id] = ckpt[i]
+	}
+	s, err := core.NewSchedule(g, order, ckptByID)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, &Solution{Ckpt: ckpt, Expected: fAt(-1)}, nil
+}
+
+// Expected computes the closed-form expected makespan of a chain with
+// the given per-position checkpoint mask (used by tests and by the
+// brute-force oracle for chains).
+func Expected(w, c, r []float64, ckpt []bool, p failure.Platform) float64 {
+	if len(c) != len(w) || len(r) != len(w) || len(ckpt) != len(w) {
+		panic("chains: mismatched slice lengths")
+	}
+	total := 0.0
+	for i := range w {
+		rec := 0.0
+		for j := i - 1; j >= 0; j-- {
+			if ckpt[j] {
+				rec += r[j]
+				break
+			}
+			rec += w[j]
+		}
+		ci := 0.0
+		if ckpt[i] {
+			ci = c[i]
+		}
+		total += p.ExpectedTime(w[i], ci, rec)
+	}
+	if math.IsNaN(total) {
+		panic("chains: NaN expected makespan")
+	}
+	return total
+}

@@ -1,0 +1,221 @@
+package chains
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bruteforce"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+var plat = failure.Platform{Lambda: 0.01, Downtime: 1}
+
+func TestIsChain(t *testing.T) {
+	g := dag.Chain([]float64{1, 2, 3}, nil)
+	order, ok := IsChain(g)
+	if !ok {
+		t.Fatal("chain not recognized")
+	}
+	if len(order) != 3 || order[0] != 0 || order[2] != 2 {
+		t.Fatalf("chain order = %v", order)
+	}
+	if _, ok := IsChain(dag.Fork([]float64{1, 2, 3}, nil)); ok {
+		t.Fatal("fork recognized as chain")
+	}
+	if _, ok := IsChain(dag.New()); ok {
+		t.Fatal("empty graph recognized as chain")
+	}
+	// Two disconnected tasks: no edges, two sources — not a chain.
+	g2 := dag.New()
+	g2.AddTask(dag.Task{Weight: 1})
+	g2.AddTask(dag.Task{Weight: 1})
+	if _, ok := IsChain(g2); ok {
+		t.Fatal("disconnected pair recognized as chain")
+	}
+}
+
+func TestSolveRejectsNonChain(t *testing.T) {
+	if _, _, err := Solve(dag.Join([]float64{1, 2, 3}, nil), plat); err == nil {
+		t.Fatal("Solve accepted a join DAG")
+	}
+}
+
+func TestExpectedMatchesCoreEval(t *testing.T) {
+	ws := []float64{12, 30, 7, 22, 16}
+	g := dag.Chain(ws, dag.UniformCosts(0.1))
+	cs := make([]float64, len(ws))
+	rs := make([]float64, len(ws))
+	for i, w := range ws {
+		cs[i], rs[i] = 0.1*w, 0.1*w
+	}
+	order := []int{0, 1, 2, 3, 4}
+	for mask := 0; mask < 32; mask++ {
+		ck := make([]bool, 5)
+		for i := range ck {
+			ck[i] = mask&(1<<i) != 0
+		}
+		s, err := core.NewSchedule(g, order, ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Expected(ws, cs, rs, ck, plat)
+		want := core.Eval(s, plat)
+		if stats.RelDiff(got, want) > 1e-10 {
+			t.Fatalf("mask %05b: closed form %v vs evaluator %v", mask, got, want)
+		}
+	}
+}
+
+func TestSolveOptimalVsBruteForce(t *testing.T) {
+	cases := [][]float64{
+		{10, 10, 10, 10},
+		{100, 1, 1, 100, 1},
+		{5, 50, 5, 50, 5, 50},
+		{200, 200, 200},
+		{1, 2, 3, 4, 5, 6},
+	}
+	for _, ws := range cases {
+		g := dag.Chain(ws, dag.UniformCosts(0.1))
+		s, sol, err := Solve(g, plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := core.Eval(s, plat); stats.RelDiff(got, sol.Expected) > 1e-10 {
+			t.Fatalf("chain %v: DP value %v but evaluator says %v", ws, sol.Expected, got)
+		}
+		bf, err := bruteforce.SolveFixedOrder(g, plat, s.Order, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bf.Exhausted {
+			t.Fatal("brute force not exhausted")
+		}
+		if stats.RelDiff(sol.Expected, bf.Expected) > 1e-10 {
+			t.Fatalf("chain %v: DP %v vs brute force %v", ws, sol.Expected, bf.Expected)
+		}
+	}
+}
+
+// Property: the DP optimum never exceeds never-checkpoint and
+// always-checkpoint, and matches exhaustive enumeration.
+func TestSolveOptimalProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 2 + int(nRaw%7)
+		r := rng.New(seed)
+		ws := make([]float64, n)
+		for i := range ws {
+			ws[i] = r.Uniform(1, 150)
+		}
+		g := dag.Chain(ws, dag.UniformCosts(0.1))
+		s, sol, err := Solve(g, plat)
+		if err != nil {
+			return false
+		}
+		never := make([]bool, n)
+		always := make([]bool, n)
+		for i := range always {
+			always[i] = true
+		}
+		cs := make([]float64, n)
+		rs := make([]float64, n)
+		for i, w := range ws {
+			cs[i], rs[i] = 0.1*w, 0.1*w
+		}
+		if sol.Expected > Expected(ws, cs, rs, never, plat)+1e-9 {
+			return false
+		}
+		if sol.Expected > Expected(ws, cs, rs, always, plat)+1e-9 {
+			return false
+		}
+		bf, err := bruteforce.SolveFixedOrder(g, plat, s.Order, 1<<16)
+		if err != nil || !bf.Exhausted {
+			return false
+		}
+		return stats.RelDiff(sol.Expected, bf.Expected) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveSingleTask(t *testing.T) {
+	g := dag.Chain([]float64{42}, dag.UniformCosts(0.1))
+	s, sol, err := Solve(g, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single task's checkpoint is pure overhead (nothing follows).
+	if s.Ckpt[0] {
+		t.Fatal("single task should not be checkpointed")
+	}
+	if want := plat.ExpectedTime(42, 0, 0); stats.RelDiff(sol.Expected, want) > 1e-12 {
+		t.Fatalf("single-task expected %v, want %v", sol.Expected, want)
+	}
+}
+
+func TestLongTasksGetCheckpointed(t *testing.T) {
+	// Heavy tasks with cheap checkpoints under frequent failures:
+	// the optimum must checkpoint aggressively.
+	ws := []float64{300, 300, 300, 300}
+	g := dag.Chain(ws, dag.UniformCosts(0.01))
+	_, sol, err := Solve(g, failure.Platform{Lambda: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, b := range sol.Ckpt {
+		if b {
+			count++
+		}
+	}
+	if count < 3 {
+		t.Fatalf("only %d checkpoints placed on a failure-heavy chain (%v)", count, sol.Ckpt)
+	}
+}
+
+func TestRareFailuresNoCheckpoints(t *testing.T) {
+	ws := []float64{5, 5, 5, 5}
+	g := dag.Chain(ws, dag.UniformCosts(1.0)) // expensive checkpoints
+	_, sol, err := Solve(g, failure.Platform{Lambda: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range sol.Ckpt {
+		if b {
+			t.Fatalf("checkpoint at %d despite λ≈0 and c=w", i)
+		}
+	}
+}
+
+func TestExpectedPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Expected([]float64{1, 2}, []float64{1}, []float64{1, 2}, []bool{false, false}, plat)
+}
+
+func TestSolveScalesToLargeChains(t *testing.T) {
+	r := rng.New(5)
+	ws := make([]float64, 300)
+	for i := range ws {
+		ws[i] = r.Uniform(1, 100)
+	}
+	g := dag.Chain(ws, dag.UniformCosts(0.1))
+	s, sol, err := Solve(g, failure.Platform{Lambda: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(sol.Expected, 0) || sol.Expected < g.TotalWeight() {
+		t.Fatalf("large chain optimum implausible: %v", sol.Expected)
+	}
+	if got := core.Eval(s, failure.Platform{Lambda: 0.001}); stats.RelDiff(got, sol.Expected) > 1e-9 {
+		t.Fatalf("DP %v disagrees with evaluator %v on large chain", sol.Expected, got)
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"repro/internal/dag"
+	"repro/internal/failure"
+)
+
+// LowerBound returns a bound below the expected makespan of *every*
+// schedule of g on platform p, checkpointed or not:
+//
+//	LB = Σ_i E[t(w_i; 0; 0)] = (1/λ + D) Σ_i (e^{λ w_i} − 1).
+//
+// Justification: in any schedule, E[makespan] = Σ_i E[X_i] and each
+// X_i stochastically dominates the execution of an isolated task of
+// weight w_i with free recovery (property C's work term is
+// W^i_k + R^i_k + w_i ≥ w_i and E[t] is monotone in work, checkpoint
+// and recovery). The bound is tight for independent tasks that are
+// never checkpointed (e.g. a failure-free-recovered fork with zero
+// source weight), and lets callers report an optimality-gap ceiling
+// without solving the NP-complete problem.
+func LowerBound(g *dag.Graph, p failure.Platform) float64 {
+	lb := 0.0
+	for i := 0; i < g.N(); i++ {
+		lb += p.ExpectedTime(g.Weight(i), 0, 0)
+	}
+	return lb
+}
+
+// Ratio helpers for reporting.
+
+// GapUpperBound returns (expected/LB − 1), an upper bound on the
+// relative distance of the given expectation from the true optimum.
+// It returns 0 when the bound is degenerate (empty graph).
+func GapUpperBound(g *dag.Graph, p failure.Platform, expected float64) float64 {
+	lb := LowerBound(g, p)
+	if lb <= 0 {
+		return 0
+	}
+	return expected/lb - 1
+}

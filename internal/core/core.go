@@ -1,0 +1,333 @@
+// Package core implements the paper's central contribution
+// (Theorem 3): a polynomial-time algorithm computing the expected
+// makespan of a schedule — a linearization of a workflow DAG plus a
+// set of checkpointed tasks — on a platform with exponentially
+// distributed failures.
+//
+// Two implementations are provided. EvalReference is a literal
+// transcription of Algorithm 1 (FindWikRik) with the n×n tab_k array,
+// costing O(n³) per failure position k and O(n⁴) overall.  Eval is an
+// optimized, algebraically identical version that exploits the fact
+// that, for a fixed k, every task enters the lost set T↓k_i of at
+// most one i: a per-k status array replaces tab_k, each DAG edge is
+// inspected O(1) times per k, and per-k prefix sums turn the
+// probability products of properties A and B into O(1) lookups. Eval
+// costs O(n·(E+n)) per schedule, which is what makes the exhaustive
+// checkpoint-count searches of the Section 5 heuristics tractable at
+// the paper's largest instances (n = 700).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dag"
+	"repro/internal/failure"
+)
+
+// Schedule is a complete answer to DAG-ChkptSched for a given
+// workflow: Order is a linearization of the DAG (Order[p] is the ID
+// of the task executed at position p) and Ckpt[id] tells whether the
+// output of task id is checkpointed right after the task completes.
+type Schedule struct {
+	Graph *dag.Graph
+	Order []int
+	Ckpt  []bool
+}
+
+// NewSchedule validates and returns a schedule. The order must be a
+// linearization of g and ckpt must have one entry per task.
+func NewSchedule(g *dag.Graph, order []int, ckpt []bool) (*Schedule, error) {
+	s := &Schedule{Graph: g, Order: order, Ckpt: ckpt}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Validate checks the structural sanity of the schedule.
+func (s *Schedule) Validate() error {
+	if s.Graph == nil {
+		return fmt.Errorf("core: schedule has no graph")
+	}
+	if err := s.Graph.Validate(); err != nil {
+		return err
+	}
+	if len(s.Ckpt) != s.Graph.N() {
+		return fmt.Errorf("core: checkpoint mask has %d entries for %d tasks", len(s.Ckpt), s.Graph.N())
+	}
+	if !s.Graph.IsLinearization(s.Order) {
+		return fmt.Errorf("core: order is not a linearization of the DAG")
+	}
+	return nil
+}
+
+// NumCheckpointed returns the number of checkpointed tasks.
+func (s *Schedule) NumCheckpointed() int {
+	n := 0
+	for _, b := range s.Ckpt {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the schedule sharing the same graph.
+func (s *Schedule) Clone() *Schedule {
+	return &Schedule{
+		Graph: s.Graph,
+		Order: append([]int(nil), s.Order...),
+		Ckpt:  append([]bool(nil), s.Ckpt...),
+	}
+}
+
+// Eval computes the expected makespan of schedule s on platform p
+// using a fresh evaluator. Prefer an Evaluator when evaluating many
+// schedules of same-sized graphs (it reuses its buffers).
+func Eval(s *Schedule, p failure.Platform) float64 {
+	return NewEvaluator().Eval(s, p)
+}
+
+// Evaluator computes expected makespans, reusing internal buffers
+// across calls. It is not safe for concurrent use; create one
+// evaluator per goroutine.
+type Evaluator struct {
+	// Position-space views of the current schedule (1-based: index 0
+	// unused so the code mirrors the paper's T_1..T_n notation).
+	w, c, r []float64
+	ckpt    []bool
+	preds   [][]int // predecessor positions of each position
+
+	lost [][]float64 // lost[k][i] = W^i_k + R^i_k (k, i in 1..n)
+	cum  []float64   // per-k prefix sums of A_j(k)
+	pz   []float64   // pz[k] = P(Z^{k+1}_k)
+	st   []int       // per-k DFS status: iteration when placed
+	stk  []int       // DFS stack
+}
+
+// NewEvaluator returns an empty evaluator ready for use.
+func NewEvaluator() *Evaluator { return &Evaluator{} }
+
+// resize prepares buffers for an n-task schedule.
+func (e *Evaluator) resize(n int) {
+	if cap(e.w) < n+1 {
+		e.w = make([]float64, n+1)
+		e.c = make([]float64, n+1)
+		e.r = make([]float64, n+1)
+		e.ckpt = make([]bool, n+1)
+		e.preds = make([][]int, n+1)
+		e.lost = make([][]float64, n+1)
+		for k := range e.lost {
+			e.lost[k] = make([]float64, n+1)
+		}
+		e.cum = make([]float64, n+1)
+		e.pz = make([]float64, n+1)
+		e.st = make([]int, n+1)
+		e.stk = make([]int, 0, n+1)
+	}
+	e.w = e.w[:n+1]
+	e.c = e.c[:n+1]
+	e.r = e.r[:n+1]
+	e.ckpt = e.ckpt[:n+1]
+	e.preds = e.preds[:n+1]
+	e.lost = e.lost[:n+1]
+	e.cum = e.cum[:n+1]
+	e.pz = e.pz[:n+1]
+	e.st = e.st[:n+1]
+}
+
+// load converts the schedule into position space.
+func (e *Evaluator) load(s *Schedule) {
+	g := s.Graph
+	n := g.N()
+	e.resize(n)
+	pos := g.Positions(s.Order)
+	for p, id := range s.Order {
+		i := p + 1
+		t := g.Task(id)
+		e.w[i] = t.Weight
+		e.c[i] = t.CkptCost
+		e.r[i] = t.RecCost
+		e.ckpt[i] = s.Ckpt[id]
+		pp := e.preds[i][:0]
+		for _, q := range g.Preds(id) {
+			pp = append(pp, pos[q]+1)
+		}
+		e.preds[i] = pp
+	}
+}
+
+// Eval computes the expected makespan of s on platform p. It panics
+// if the schedule is invalid (call Validate first for user input).
+// For a failure-free platform (λ = 0) it returns Σ(w_i + δ_i c_i).
+func (e *Evaluator) Eval(s *Schedule, p failure.Platform) float64 {
+	g := s.Graph
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	if p.FailureFree() {
+		total := 0.0
+		for id := 0; id < n; id++ {
+			total += g.Weight(id)
+			if s.Ckpt[id] {
+				total += g.CkptCost(id)
+			}
+		}
+		return total
+	}
+	e.load(s)
+	e.computeLostSets(n)
+	return e.expectedMakespan(n, p)
+}
+
+// computeLostSets fills lost[k][i] = W^i_k + R^i_k for 1 ≤ k ≤ i ≤ n,
+// the total rebuild cost of the tasks in T↓k_i (Definition 1): the
+// predecessors of position i whose output was destroyed by a failure
+// during X_k, is still needed by position i, and has not already been
+// rebuilt for an intermediate position. Non-checkpointed members
+// contribute their weight w_j (re-execution), checkpointed members
+// their recovery cost r_j.
+func (e *Evaluator) computeLostSets(n int) {
+	for k := 1; k <= n; k++ {
+		st := e.st
+		for j := 0; j <= n; j++ {
+			st[j] = 0
+		}
+		row := e.lost[k]
+		for i := k; i <= n; i++ {
+			sum := 0.0
+			// DFS from the predecessors of i through the
+			// non-checkpointed closure restricted to positions < k.
+			stk := e.stk[:0]
+			stk = append(stk, i)
+			for len(stk) > 0 {
+				l := stk[len(stk)-1]
+				stk = stk[:len(stk)-1]
+				for _, j := range e.preds[l] {
+					if j >= k {
+						// Executed after the failure: its output is
+						// in memory, the path is cut (Algorithm 1
+						// marks tab 0 and does not recurse).
+						continue
+					}
+					if st[j] != 0 {
+						// Already placed in some T↓k_l (l ≤ i):
+						// rebuilt at that point, output in memory.
+						continue
+					}
+					st[j] = i
+					if e.ckpt[j] {
+						sum += e.r[j]
+					} else {
+						sum += e.w[j]
+						stk = append(stk, j)
+					}
+				}
+			}
+			row[i] = sum
+		}
+	}
+}
+
+// expectedMakespan combines properties A, B and C of Theorem 3 into
+// E[Σ X_i]. pz[k] caches P(Z^{k+1}_k); cum holds, for the current k,
+// the prefix sums of A_j(k) = lost[k][j] + w_j + δ_j c_j so that the
+// exponent of property A is a difference of two lookups.
+func (e *Evaluator) expectedMakespan(n int, p failure.Platform) float64 {
+	lambda := p.Lambda
+	// scost[i] = w_i + δ_i c_i.
+	// sum0[i] = Σ_{j=1..i} scost[j] (the k = 0 exponent, empty lost sets).
+	// We fold the k = 0 case into the same loop below with cum0.
+	total := 0.0
+	// Precompute, for every k in 1..n-1, the prefix sums over j of
+	// A_j(k), stored lazily row by row: we iterate i outermost to
+	// accumulate E[X_i], so we instead precompute the full matrix of
+	// prefix sums implicitly: S(k, i) = cumk[i-1] where cumk[j] =
+	// Σ_{t=k+1..j} A_t(k). To stay O(n²) in time but O(n) in memory
+	// for this part, iterate k outermost and accumulate the
+	// contribution of each (i, k) pair into per-i sums.
+	exSum := make([]float64, n+1)   // Σ_{k<i-1} P(Z^i_k)·E[X_i|Z^i_k]
+	probSum := make([]float64, n+1) // Σ_{k<i-1} P(Z^i_k)
+
+	// k = 0 contributions: P(Z^i_0) = e^{−λ Σ_{j=1}^{i−1} scost_j}.
+	cum := 0.0
+	for i := 1; i <= n; i++ {
+		if i >= 2 { // for i = 1, k = 0 is the "last" k handled below
+			pr := math.Exp(-lambda * cum)
+			probSum[i] += pr
+			exSum[i] += pr * e.condExpected(i, 0, p)
+		}
+		cum += e.w[i]
+		if e.ckpt[i] {
+			cum += e.c[i]
+		}
+	}
+
+	// k ≥ 1 contributions require pz[k] = P(Z^{k+1}_k), which is
+	// produced when row i = k+1 is finalized. Process i in order,
+	// finalizing rows; for each finalized pz[k] we cannot yet iterate
+	// all i > k without O(n²) memory for the S(k,·) prefix sums—so
+	// instead note S(k, i) only depends on k and i and can be built
+	// incrementally per k. We therefore run a second pass per k once
+	// pz[k] is known, accumulating into exSum/probSum for i ≥ k+2.
+	// Total cost Σ_k (n−k) = O(n²).
+	for i := 1; i <= n; i++ {
+		// Finalize row i: the last event k = i−1 takes the remaining
+		// probability mass (property B).
+		last := 1 - probSum[i]
+		if last < 0 {
+			last = 0
+		} else if last > 1 {
+			last = 1
+		}
+		ex := exSum[i] + last*e.condExpected(i, i-1, p)
+		total += ex
+		e.pz[i-1] = last
+
+		// With pz[i-1] now known, push the k = i−1 contributions into
+		// all future rows i' ≥ i+1 ... but only k < i'−1 uses property
+		// A; k = i'−1 is the subtraction case. So push into i' ≥ k+2.
+		k := i - 1
+		if k >= 1 && e.pz[k] > 0 {
+			s := 0.0 // S(k, i') accumulates A_j(k) for j = k+1..i'-1
+			for ip := k + 2; ip <= n; ip++ {
+				j := ip - 1
+				aj := e.lost[k][j] + e.w[j]
+				if e.ckpt[j] {
+					aj += e.c[j]
+				}
+				s += aj
+				pr := math.Exp(-lambda*s) * e.pz[k]
+				probSum[ip] += pr
+				exSum[ip] += pr * e.condExpected(ip, k, p)
+			}
+		}
+	}
+	return total
+}
+
+// condExpected returns E[X_i | Z^i_k] per property C:
+// E[t(W^i_k+R^i_k+w_i; δ_i c_i; (W^i_i+R^i_i)−(W^i_k+R^i_k))].
+// k = 0 denotes the no-failure-so-far event with empty lost sets.
+func (e *Evaluator) condExpected(i, k int, p failure.Platform) float64 {
+	lostK := 0.0
+	if k >= 1 {
+		lostK = e.lost[k][i]
+	}
+	lostI := e.lost[i][i]
+	rec := lostI - lostK
+	if rec < 0 {
+		// T↓k_i ⊆ T↓i_i guarantees rec ≥ 0; tolerate rounding noise.
+		if rec < -1e-9*(1+lostI) {
+			panic(fmt.Sprintf("core: negative recovery %v at i=%d k=%d", rec, i, k))
+		}
+		rec = 0
+	}
+	ck := 0.0
+	if e.ckpt[i] {
+		ck = e.c[i]
+	}
+	return p.ExpectedTime(lostK+e.w[i], ck, rec)
+}

@@ -1,0 +1,411 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+var plat = failure.Platform{Lambda: 0.01, Downtime: 2}
+
+// randomLayeredDAG builds a random DAG whose edges all go from lower
+// to higher IDs, so the identity order is a linearization.
+func randomLayeredDAG(r *rng.Source, n int) *dag.Graph {
+	g := dag.New()
+	for i := 0; i < n; i++ {
+		g.AddTask(dag.Task{
+			Weight:   r.Uniform(1, 20),
+			CkptCost: r.Uniform(0.5, 5),
+			RecCost:  r.Uniform(0.5, 5),
+		})
+	}
+	for j := 1; j < n; j++ {
+		k := 1 + r.Intn(3)
+		for e := 0; e < k; e++ {
+			g.MustAddEdge(r.Intn(j), j)
+		}
+	}
+	return g
+}
+
+// randomLinearization returns a uniformly drawn-ish linearization by
+// repeatedly picking a random ready task.
+func randomLinearization(r *rng.Source, g *dag.Graph) []int {
+	n := g.N()
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = g.InDegree(i)
+	}
+	ready := []int{}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(ready) > 0 {
+		k := r.Intn(len(ready))
+		v := ready[k]
+		ready[k] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, v)
+		for _, s := range g.Succs(v) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	return order
+}
+
+func randomCkpt(r *rng.Source, n int) []bool {
+	ck := make([]bool, n)
+	for i := range ck {
+		ck[i] = r.Float64() < 0.4
+	}
+	return ck
+}
+
+func TestNewScheduleValidates(t *testing.T) {
+	g := dag.Chain([]float64{1, 2, 3}, nil)
+	if _, err := NewSchedule(g, []int{0, 1, 2}, make([]bool, 3)); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	if _, err := NewSchedule(g, []int{2, 1, 0}, make([]bool, 3)); err == nil {
+		t.Fatal("reversed order accepted")
+	}
+	if _, err := NewSchedule(g, []int{0, 1, 2}, make([]bool, 2)); err == nil {
+		t.Fatal("short checkpoint mask accepted")
+	}
+	if _, err := NewSchedule(nil, nil, nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestNumCheckpointedAndClone(t *testing.T) {
+	g := dag.Chain([]float64{1, 2, 3}, nil)
+	s, _ := NewSchedule(g, []int{0, 1, 2}, []bool{true, false, true})
+	if s.NumCheckpointed() != 2 {
+		t.Fatalf("NumCheckpointed = %d", s.NumCheckpointed())
+	}
+	c := s.Clone()
+	c.Ckpt[1] = true
+	c.Order[0], c.Order[1] = c.Order[1], c.Order[0]
+	if s.Ckpt[1] || s.Order[0] != 0 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestEvalSingleTask(t *testing.T) {
+	g := dag.New()
+	g.AddTask(dag.Task{Weight: 50, CkptCost: 5, RecCost: 4})
+	sNo, _ := NewSchedule(g, []int{0}, []bool{false})
+	sYes, _ := NewSchedule(g, []int{0}, []bool{true})
+	// Single task: E[X_1] = E[t(w; δc; 0)] (a failure re-runs the task
+	// from scratch — it has no predecessors, and its own re-execution
+	// cost is embedded in Eq. (1), not in the r parameter... with the
+	// paper's property C the recovery is W¹₁+R¹₁ = 0).
+	if got, want := Eval(sNo, plat), plat.ExpectedTime(50, 0, 0); stats.RelDiff(got, want) > 1e-12 {
+		t.Fatalf("no-ckpt single task: got %v want %v", got, want)
+	}
+	if got, want := Eval(sYes, plat), plat.ExpectedTime(50, 5, 0); stats.RelDiff(got, want) > 1e-12 {
+		t.Fatalf("ckpt single task: got %v want %v", got, want)
+	}
+}
+
+func TestEvalEmptyAndFailureFree(t *testing.T) {
+	g := dag.Chain([]float64{3, 4}, dag.UniformCosts(0.5))
+	s, _ := NewSchedule(g, []int{0, 1}, []bool{true, false})
+	ff := failure.Platform{}
+	// λ=0: w0 + c0 + w1 = 3 + 1.5 + 4.
+	if got := Eval(s, ff); got != 8.5 {
+		t.Fatalf("failure-free eval = %v, want 8.5", got)
+	}
+	if got := EvalReference(s, ff); got != 8.5 {
+		t.Fatalf("failure-free reference = %v, want 8.5", got)
+	}
+}
+
+// chainClosedForm computes the expected makespan of a linear chain
+// schedule directly: E = Σ_i E[t(w_i; δ_i c_i; R_i)] where R_i is
+// the recovery of the last checkpointed task before i plus the
+// re-execution of the non-checkpointed tasks in between.
+func chainClosedForm(ws, cs, rs []float64, ckpt []bool, p failure.Platform) float64 {
+	total := 0.0
+	for i := range ws {
+		rec := 0.0
+		for j := i - 1; j >= 0; j-- {
+			if ckpt[j] {
+				rec += rs[j]
+				break
+			}
+			rec += ws[j]
+		}
+		c := 0.0
+		if ckpt[i] {
+			c = cs[i]
+		}
+		total += p.ExpectedTime(ws[i], c, rec)
+	}
+	return total
+}
+
+func TestEvalChainClosedForm(t *testing.T) {
+	ws := []float64{10, 25, 5, 40, 15}
+	g := dag.Chain(ws, dag.UniformCosts(0.1))
+	cs := make([]float64, len(ws))
+	rs := make([]float64, len(ws))
+	for i, w := range ws {
+		cs[i], rs[i] = 0.1*w, 0.1*w
+	}
+	masks := [][]bool{
+		{false, false, false, false, false},
+		{true, true, true, true, true},
+		{false, true, false, true, false},
+		{true, false, false, false, true},
+	}
+	order := []int{0, 1, 2, 3, 4}
+	for _, m := range masks {
+		s, err := NewSchedule(g, order, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Eval(s, plat)
+		want := chainClosedForm(ws, cs, rs, m, plat)
+		if stats.RelDiff(got, want) > 1e-10 {
+			t.Fatalf("chain mask %v: Eval = %v, closed form = %v", m, got, want)
+		}
+	}
+}
+
+// Theorem 1 closed form for fork DAGs: E = E[t(w_src; δc_src; 0)] +
+// Σ E[t(w_i; 0; ρ)] with ρ = r_src if checkpointed, w_src otherwise.
+func TestEvalForkTheorem1Form(t *testing.T) {
+	ws := []float64{30, 10, 20, 5}
+	g := dag.Fork(ws, func(i int, w float64) (float64, float64) { return 3, 2 })
+	order := []int{0, 1, 2, 3}
+	for _, srcCkpt := range []bool{false, true} {
+		ck := []bool{srcCkpt, false, false, false}
+		s, _ := NewSchedule(g, order, ck)
+		got := Eval(s, plat)
+		var want float64
+		if srcCkpt {
+			want = plat.ExpectedTime(30, 3, 0)
+			for _, w := range ws[1:] {
+				want += plat.ExpectedTime(w, 0, 2)
+			}
+		} else {
+			want = plat.ExpectedTime(30, 0, 0)
+			for _, w := range ws[1:] {
+				want += plat.ExpectedTime(w, 0, 30)
+			}
+		}
+		if stats.RelDiff(got, want) > 1e-10 {
+			t.Fatalf("fork srcCkpt=%v: Eval = %v, Theorem 1 form = %v", srcCkpt, got, want)
+		}
+	}
+}
+
+// The paper remarks that for a fork the leaf order does not matter.
+func TestEvalForkOrderInvariance(t *testing.T) {
+	g := dag.Fork([]float64{30, 10, 20, 5}, dag.UniformCosts(0.1))
+	ck := []bool{true, false, false, false}
+	orders := [][]int{{0, 1, 2, 3}, {0, 3, 2, 1}, {0, 2, 1, 3}}
+	ref := math.NaN()
+	for _, o := range orders {
+		s, _ := NewSchedule(g, o, ck)
+		v := Eval(s, plat)
+		if math.IsNaN(ref) {
+			ref = v
+		} else if stats.RelDiff(ref, v) > 1e-12 {
+			t.Fatalf("fork leaf order changed makespan: %v vs %v", ref, v)
+		}
+	}
+}
+
+// Figure 1 narrative: with the paper's linearization and checkpoints
+// on T3, T4, the lost sets after a failure during T5 must be
+// {T3(r)}, {T4(r)}, {T1(w), T2(w)} for T5, T6, T7 respectively.
+func TestFigure1LostSets(t *testing.T) {
+	ws := []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	g := dag.Figure1(ws, dag.UniformCosts(0.5))
+	order := dag.Figure1Linearization() // T0 T3 T1 T2 T4 T5 T6 T7
+	s, err := NewSchedule(g, order, dag.Figure1Checkpoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := LostSets(s)
+	// Positions (1-based): 1:T0 2:T3 3:T1 4:T2 5:T4 6:T5 7:T6 8:T7.
+	// Failure during X_6 (T5's interval) ⇒ k = 6.
+	if got, want := lost[6][6], 0.5*ws[3]; got != want { // recover T3
+		t.Fatalf("lost[6][6] = %v, want r_T3 = %v", got, want)
+	}
+	if got, want := lost[6][7], 0.5*ws[4]; got != want { // recover T4
+		t.Fatalf("lost[6][7] = %v, want r_T4 = %v", got, want)
+	}
+	if got, want := lost[6][8], ws[1]+ws[2]; got != want { // re-exec T1, T2
+		t.Fatalf("lost[6][8] = %v, want w_T1+w_T2 = %v", got, want)
+	}
+	// And the reference agrees everywhere.
+	ref := LostSetsReference(s)
+	for k := 0; k <= 8; k++ {
+		for i := k; i <= 8; i++ {
+			if stats.RelDiff(lost[k][i], ref[k][i]) > 1e-12 {
+				t.Fatalf("lost[%d][%d]: fast %v vs reference %v", k, i, lost[k][i], ref[k][i])
+			}
+		}
+	}
+}
+
+func TestEvalMatchesReferenceRandom(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 2 + int(nRaw%14)
+		r := rng.New(seed)
+		g := randomLayeredDAG(r, n)
+		order := randomLinearization(r, g)
+		ck := randomCkpt(r, n)
+		s, err := NewSchedule(g, order, ck)
+		if err != nil {
+			return false
+		}
+		a := Eval(s, plat)
+		b := EvalReference(s, plat)
+		return stats.RelDiff(a, b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLostSetsMatchReferenceRandom(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 2 + int(nRaw%12)
+		r := rng.New(seed)
+		g := randomLayeredDAG(r, n)
+		order := randomLinearization(r, g)
+		s, err := NewSchedule(g, order, randomCkpt(r, n))
+		if err != nil {
+			return false
+		}
+		fast := LostSets(s)
+		ref := LostSetsReference(s)
+		for k := 0; k <= n; k++ {
+			for i := k; i <= n; i++ {
+				if i == 0 {
+					continue
+				}
+				if stats.RelDiff(fast[k][i], ref[k][i]) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalAtLeastFailureFree(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 2 + int(nRaw%20)
+		r := rng.New(seed)
+		g := randomLayeredDAG(r, n)
+		s, err := NewSchedule(g, randomLinearization(r, g), randomCkpt(r, n))
+		if err != nil {
+			return false
+		}
+		ff := 0.0
+		for id := 0; id < n; id++ {
+			ff += g.Weight(id)
+			if s.Ckpt[id] {
+				ff += g.CkptCost(id)
+			}
+		}
+		return Eval(s, plat) >= ff-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalMonotoneInLambda(t *testing.T) {
+	r := rng.New(99)
+	g := randomLayeredDAG(r, 15)
+	s, err := NewSchedule(g, randomLinearization(r, g), randomCkpt(r, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, l := range []float64{0, 1e-5, 1e-4, 1e-3, 1e-2} {
+		v := Eval(s, failure.Platform{Lambda: l, Downtime: 1})
+		if v < prev {
+			t.Fatalf("makespan decreased with λ: %v at λ=%v (prev %v)", v, l, prev)
+		}
+		prev = v
+	}
+}
+
+func TestEvaluatorReuseAcrossSizes(t *testing.T) {
+	e := NewEvaluator()
+	r := rng.New(7)
+	for _, n := range []int{12, 3, 25, 8, 25, 1} {
+		g := randomLayeredDAG(r, n)
+		s, err := NewSchedule(g, randomLinearization(r, g), randomCkpt(r, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused := e.Eval(s, plat)
+		fresh := Eval(s, plat)
+		if stats.RelDiff(reused, fresh) > 1e-12 {
+			t.Fatalf("n=%d: reused evaluator %v vs fresh %v", n, reused, fresh)
+		}
+	}
+}
+
+func TestEvalFiniteOnLargeLoads(t *testing.T) {
+	// High λ·W products must stay finite (no overflow into +Inf for
+	// sane experiment regimes).
+	g := dag.Chain([]float64{1000, 1000, 1000, 1000}, dag.UniformCosts(0.1))
+	s, _ := NewSchedule(g, []int{0, 1, 2, 3}, []bool{false, false, false, false})
+	v := Eval(s, failure.Platform{Lambda: 0.01})
+	if math.IsInf(v, 0) || math.IsNaN(v) || v <= 0 {
+		t.Fatalf("large-load eval = %v", v)
+	}
+}
+
+// Checkpointing everything on a chain with expensive failures must
+// beat checkpointing nothing when tasks are long relative to MTBF.
+func TestCheckpointsHelpLongChains(t *testing.T) {
+	ws := []float64{200, 200, 200, 200, 200}
+	g := dag.Chain(ws, dag.UniformCosts(0.05))
+	order := []int{0, 1, 2, 3, 4}
+	all := []bool{true, true, true, true, true}
+	none := make([]bool, 5)
+	p := failure.Platform{Lambda: 0.005}
+	sAll, _ := NewSchedule(g, order, all)
+	sNone, _ := NewSchedule(g, order, none)
+	if Eval(sAll, p) >= Eval(sNone, p) {
+		t.Fatalf("checkpointing did not help: all=%v none=%v", Eval(sAll, p), Eval(sNone, p))
+	}
+}
+
+// And the converse: with negligible failure rates, checkpointing is
+// pure overhead.
+func TestCheckpointsHurtWhenFailuresRare(t *testing.T) {
+	ws := []float64{10, 10, 10}
+	g := dag.Chain(ws, dag.UniformCosts(0.5))
+	order := []int{0, 1, 2}
+	p := failure.Platform{Lambda: 1e-7}
+	sAll, _ := NewSchedule(g, order, []bool{true, true, true})
+	sNone, _ := NewSchedule(g, order, []bool{false, false, false})
+	if Eval(sAll, p) <= Eval(sNone, p) {
+		t.Fatal("checkpointing should cost more than it saves at λ≈0")
+	}
+}

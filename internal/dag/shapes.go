@@ -1,0 +1,167 @@
+package dag
+
+import "fmt"
+
+// This file provides canonical DAG shapes used by the theoretical
+// results of the paper (fork, join, chain) and by tests. Weights and
+// costs are supplied by the caller; helpers taking slices create one
+// task per element.
+
+// Chain builds a linear chain T0 → T1 → … with the given weights.
+// CkptCost and RecCost are set by the costs function (may be nil for
+// zero costs).
+func Chain(weights []float64, costs func(i int, w float64) (c, r float64)) *Graph {
+	g := New()
+	for i, w := range weights {
+		c, r := 0.0, 0.0
+		if costs != nil {
+			c, r = costs(i, w)
+		}
+		g.AddTask(Task{Name: fmt.Sprintf("chain%d", i), Weight: w, CkptCost: c, RecCost: r})
+	}
+	for i := 1; i < len(weights); i++ {
+		g.MustAddEdge(i-1, i)
+	}
+	return g
+}
+
+// Fork builds a fork DAG: one source (weights[0]) feeding n-1 sinks
+// (weights[1:]). Task 0 is the source.
+func Fork(weights []float64, costs func(i int, w float64) (c, r float64)) *Graph {
+	if len(weights) < 1 {
+		panic("dag: Fork needs at least the source weight")
+	}
+	g := New()
+	for i, w := range weights {
+		c, r := 0.0, 0.0
+		if costs != nil {
+			c, r = costs(i, w)
+		}
+		name := "src"
+		if i > 0 {
+			name = fmt.Sprintf("leaf%d", i)
+		}
+		g.AddTask(Task{Name: name, Weight: w, CkptCost: c, RecCost: r})
+	}
+	for i := 1; i < len(weights); i++ {
+		g.MustAddEdge(0, i)
+	}
+	return g
+}
+
+// Join builds a join DAG: n-1 sources (weights[:n-1]) feeding one
+// sink (weights[n-1]). The sink is the last task.
+func Join(weights []float64, costs func(i int, w float64) (c, r float64)) *Graph {
+	if len(weights) < 1 {
+		panic("dag: Join needs at least the sink weight")
+	}
+	g := New()
+	for i, w := range weights {
+		c, r := 0.0, 0.0
+		if costs != nil {
+			c, r = costs(i, w)
+		}
+		name := fmt.Sprintf("src%d", i)
+		if i == len(weights)-1 {
+			name = "sink"
+		}
+		g.AddTask(Task{Name: name, Weight: w, CkptCost: c, RecCost: r})
+	}
+	sink := len(weights) - 1
+	for i := 0; i < sink; i++ {
+		g.MustAddEdge(i, sink)
+	}
+	return g
+}
+
+// ForkJoin builds source → n middle tasks → sink. weights must have
+// length n+2: [source, middle..., sink].
+func ForkJoin(weights []float64, costs func(i int, w float64) (c, r float64)) *Graph {
+	if len(weights) < 3 {
+		panic("dag: ForkJoin needs source, ≥1 middle, sink")
+	}
+	g := New()
+	for i, w := range weights {
+		c, r := 0.0, 0.0
+		if costs != nil {
+			c, r = costs(i, w)
+		}
+		name := fmt.Sprintf("mid%d", i)
+		switch i {
+		case 0:
+			name = "src"
+		case len(weights) - 1:
+			name = "sink"
+		}
+		g.AddTask(Task{Name: name, Weight: w, CkptCost: c, RecCost: r})
+	}
+	sink := len(weights) - 1
+	for i := 1; i < sink; i++ {
+		g.MustAddEdge(0, i)
+		g.MustAddEdge(i, sink)
+	}
+	return g
+}
+
+// Figure1 builds the 8-task example DAG of Figure 1 in the paper,
+// reconstructed from the Section 3 narrative: sources T0 and T1;
+// edges T0→T3, T3→T4, T3→T5, T4→T6, T5→T6, T1→T2, T2→T7, T6→T7.
+// With checkpoints on T3 and T4 and the linearization
+// T0 T3 T1 T2 T4 T5 T6 T7, a failure during T5 forces a recovery of
+// T3 (to re-execute T5), a recovery of T4 plus reuse of the in-memory
+// T5 (to execute T6), and a re-execution of the entry task T1 and of
+// T2 (to execute T7) — exactly the example walked through in the
+// paper.
+func Figure1(weights []float64, costs func(i int, w float64) (c, r float64)) *Graph {
+	if weights == nil {
+		weights = []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	}
+	if len(weights) != 8 {
+		panic("dag: Figure1 needs exactly 8 weights")
+	}
+	g := New()
+	for i, w := range weights {
+		c, r := 0.0, 0.0
+		if costs != nil {
+			c, r = costs(i, w)
+		}
+		g.AddTask(Task{Name: fmt.Sprintf("T%d", i), Weight: w, CkptCost: c, RecCost: r})
+	}
+	edges := [][2]int{
+		{0, 3},
+		{1, 2},
+		{3, 4}, {3, 5},
+		{2, 7},
+		{4, 6},
+		{5, 6},
+		{6, 7},
+	}
+	for _, e := range edges {
+		g.MustAddEdge(e[0], e[1])
+	}
+	return g
+}
+
+// Figure1Checkpoints returns the checkpoint mask of Figure 1 in the
+// paper (T3 and T4 checkpointed).
+func Figure1Checkpoints() []bool {
+	ck := make([]bool, 8)
+	ck[3], ck[4] = true, true
+	return ck
+}
+
+// Figure1Linearization returns the linearization discussed in
+// Section 3: T0 T3 T1 T2 T4 T5 T6 T7.
+func Figure1Linearization() []int { return []int{0, 3, 1, 2, 4, 5, 6, 7} }
+
+// UniformCosts returns a cost function assigning c = r = alpha*w, the
+// proportional model used in most of the paper's experiments.
+func UniformCosts(alpha float64) func(i int, w float64) (c, r float64) {
+	return func(_ int, w float64) (c, r float64) { return alpha * w, alpha * w }
+}
+
+// ConstantCosts returns a cost function assigning c = r = k seconds,
+// the constant model of Figures 4 and 6.
+func ConstantCosts(k float64) func(i int, w float64) (c, r float64) {
+	return func(_ int, _ float64) (c, r float64) { return k, k }
+}

@@ -1,0 +1,139 @@
+package dag
+
+import "testing"
+
+func TestChainShape(t *testing.T) {
+	g := Chain([]float64{1, 2, 3}, UniformCosts(0.1))
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("chain: n=%d m=%d", g.N(), g.M())
+	}
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Fatal("chain endpoints wrong")
+	}
+	if g.CkptCost(1) != 0.2 || g.RecCost(1) != 0.2 {
+		t.Fatalf("uniform costs wrong: c=%v r=%v", g.CkptCost(1), g.RecCost(1))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainSingleton(t *testing.T) {
+	g := Chain([]float64{5}, nil)
+	if g.N() != 1 || g.M() != 0 {
+		t.Fatalf("singleton chain: n=%d m=%d", g.N(), g.M())
+	}
+	if g.CkptCost(0) != 0 {
+		t.Fatal("nil costs should be zero")
+	}
+}
+
+func TestForkShape(t *testing.T) {
+	g := Fork([]float64{10, 1, 2, 3}, ConstantCosts(5))
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("fork: n=%d m=%d", g.N(), g.M())
+	}
+	if src := g.Sources(); len(src) != 1 || src[0] != 0 {
+		t.Fatalf("fork sources = %v", src)
+	}
+	if got := len(g.Sinks()); got != 3 {
+		t.Fatalf("fork sinks = %d", got)
+	}
+	if g.CkptCost(2) != 5 || g.RecCost(2) != 5 {
+		t.Fatal("constant costs wrong")
+	}
+}
+
+func TestForkPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fork(nil) did not panic")
+		}
+	}()
+	Fork(nil, nil)
+}
+
+func TestJoinShape(t *testing.T) {
+	g := Join([]float64{1, 2, 3, 10}, nil)
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("join: n=%d m=%d", g.N(), g.M())
+	}
+	if snk := g.Sinks(); len(snk) != 1 || snk[0] != 3 {
+		t.Fatalf("join sinks = %v", snk)
+	}
+	if got := len(g.Sources()); got != 3 {
+		t.Fatalf("join sources = %d", got)
+	}
+}
+
+func TestForkJoinShape(t *testing.T) {
+	g := ForkJoin([]float64{1, 2, 3, 4, 5}, nil)
+	if g.N() != 5 || g.M() != 6 {
+		t.Fatalf("forkjoin: n=%d m=%d", g.N(), g.M())
+	}
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Fatal("forkjoin endpoints wrong")
+	}
+	lv := g.Levels()
+	if lv[0] != 0 || lv[4] != 2 {
+		t.Fatalf("forkjoin levels: %v", lv)
+	}
+}
+
+func TestForkJoinPanicsTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForkJoin with 2 tasks did not panic")
+		}
+	}()
+	ForkJoin([]float64{1, 2}, nil)
+}
+
+func TestFigure1Structure(t *testing.T) {
+	g := Figure1(nil, nil)
+	if g.N() != 8 {
+		t.Fatalf("Figure1 has %d tasks", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Sources must be T0 and T1 (the paper re-executes T1 from scratch).
+	src := g.Sources()
+	if len(src) != 2 || src[0] != 0 || src[1] != 1 {
+		t.Fatalf("Figure1 sources = %v, want [0 1]", src)
+	}
+	// T7 is the unique sink.
+	if snk := g.Sinks(); len(snk) != 1 || snk[0] != 7 {
+		t.Fatalf("Figure1 sinks = %v, want [7]", snk)
+	}
+	// The narrative's linearization must be valid.
+	if !g.IsLinearization(Figure1Linearization()) {
+		t.Fatal("Figure1 linearization invalid")
+	}
+	// The narrative's dependencies.
+	mustEdge := [][2]int{{0, 3}, {3, 5}, {3, 4}, {4, 6}, {5, 6}, {1, 2}, {2, 7}, {6, 7}}
+	for _, e := range mustEdge {
+		found := false
+		for _, s := range g.Succs(e[0]) {
+			if s == e[1] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Figure1 missing edge %v", e)
+		}
+	}
+	ck := Figure1Checkpoints()
+	if !ck[3] || !ck[4] || ck[0] || ck[7] {
+		t.Fatalf("Figure1 checkpoints = %v", ck)
+	}
+}
+
+func TestFigure1WrongWeightCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Figure1 with 3 weights did not panic")
+		}
+	}()
+	Figure1([]float64{1, 2, 3}, nil)
+}

@@ -1,0 +1,168 @@
+// Package dax parses Pegasus DAX workflow descriptions (the XML
+// format produced by the Pegasus Workflow Generator that the paper's
+// experiments were driven by). Supporting the real format means the
+// experiments can be replayed on the authors' original inputs when
+// those files are available, instead of our synthetic equivalents.
+//
+// The subset understood here is the one the generator emits:
+//
+//	<adag ...>
+//	  <job id="ID00001" name="mProjectPP" namespace="Montage" runtime="13.59">
+//	    ...
+//	  </job>
+//	  <child ref="ID00003">
+//	    <parent ref="ID00001"/>
+//	    <parent ref="ID00002"/>
+//	  </child>
+//	</adag>
+//
+// Task weights come from the job's runtime attribute. Checkpoint and
+// recovery costs are not part of DAX; they default to zero and are
+// meant to be set by one of the paper's cost models afterwards.
+package dax
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/dag"
+)
+
+// xmlADAG mirrors the DAX document structure.
+type xmlADAG struct {
+	XMLName xml.Name   `xml:"adag"`
+	Name    string     `xml:"name,attr"`
+	Jobs    []xmlJob   `xml:"job"`
+	Childs  []xmlChild `xml:"child"`
+}
+
+type xmlJob struct {
+	ID      string `xml:"id,attr"`
+	Name    string `xml:"name,attr"`
+	Runtime string `xml:"runtime,attr"`
+}
+
+type xmlChild struct {
+	Ref     string      `xml:"ref,attr"`
+	Parents []xmlParent `xml:"parent"`
+}
+
+type xmlParent struct {
+	Ref string `xml:"ref,attr"`
+}
+
+// Parse reads a DAX document and returns the workflow DAG. Job IDs
+// map to task names as "name/id" (unique); weights are the runtime
+// attributes.
+func Parse(r io.Reader) (*dag.Graph, error) {
+	var doc xmlADAG
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("dax: %w", err)
+	}
+	if len(doc.Jobs) == 0 {
+		return nil, fmt.Errorf("dax: document has no jobs")
+	}
+	g := dag.New()
+	byID := make(map[string]int, len(doc.Jobs))
+	for _, j := range doc.Jobs {
+		if j.ID == "" {
+			return nil, fmt.Errorf("dax: job without id")
+		}
+		if _, dup := byID[j.ID]; dup {
+			return nil, fmt.Errorf("dax: duplicate job id %q", j.ID)
+		}
+		w := 0.0
+		if j.Runtime != "" {
+			v, err := strconv.ParseFloat(j.Runtime, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dax: job %s: bad runtime %q: %v", j.ID, j.Runtime, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("dax: job %s: negative runtime", j.ID)
+			}
+			w = v
+		}
+		name := j.Name
+		if name == "" {
+			name = j.ID
+		} else {
+			name = name + "/" + j.ID
+		}
+		byID[j.ID] = g.AddTask(dag.Task{Name: name, Weight: w})
+	}
+	for _, c := range doc.Childs {
+		child, ok := byID[c.Ref]
+		if !ok {
+			return nil, fmt.Errorf("dax: child references unknown job %q", c.Ref)
+		}
+		for _, p := range c.Parents {
+			parent, ok := byID[p.Ref]
+			if !ok {
+				return nil, fmt.Errorf("dax: parent references unknown job %q", p.Ref)
+			}
+			if err := g.AddEdge(parent, child); err != nil {
+				return nil, fmt.Errorf("dax: %w", err)
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("dax: invalid workflow: %w", err)
+	}
+	return g, nil
+}
+
+// Write serializes a workflow DAG as a minimal DAX document (the
+// inverse of Parse, useful for interoperating with Pegasus tooling
+// and for tests).
+func Write(w io.Writer, name string, g *dag.Graph) error {
+	type outParent struct {
+		Ref string `xml:"ref,attr"`
+	}
+	type outChild struct {
+		Ref     string      `xml:"ref,attr"`
+		Parents []outParent `xml:"parent"`
+	}
+	type outJob struct {
+		ID      string `xml:"id,attr"`
+		Name    string `xml:"name,attr"`
+		Runtime string `xml:"runtime,attr"`
+	}
+	type outADAG struct {
+		XMLName xml.Name   `xml:"adag"`
+		Name    string     `xml:"name,attr"`
+		Jobs    []outJob   `xml:"job"`
+		Childs  []outChild `xml:"child"`
+	}
+	doc := outADAG{Name: name}
+	id := func(i int) string { return fmt.Sprintf("ID%07d", i) }
+	for i := 0; i < g.N(); i++ {
+		doc.Jobs = append(doc.Jobs, outJob{
+			ID:      id(i),
+			Name:    g.Name(i),
+			Runtime: strconv.FormatFloat(g.Weight(i), 'g', -1, 64),
+		})
+	}
+	for i := 0; i < g.N(); i++ {
+		if g.InDegree(i) == 0 {
+			continue
+		}
+		c := outChild{Ref: id(i)}
+		for _, p := range g.Preds(i) {
+			c.Parents = append(c.Parents, outParent{Ref: id(p)})
+		}
+		doc.Childs = append(doc.Childs, c)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

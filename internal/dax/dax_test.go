@@ -1,0 +1,145 @@
+package dax
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/pwg"
+	"repro/internal/stats"
+)
+
+const sampleDAX = `<?xml version="1.0" encoding="UTF-8"?>
+<adag xmlns="http://pegasus.isi.edu/schema/DAX" name="montage" jobCount="4">
+  <job id="ID00001" namespace="Montage" name="mProjectPP" version="1.0" runtime="13.59"/>
+  <job id="ID00002" namespace="Montage" name="mProjectPP" version="1.0" runtime="11.20"/>
+  <job id="ID00003" namespace="Montage" name="mDiffFit" version="1.0" runtime="0.66"/>
+  <job id="ID00004" namespace="Montage" name="mConcatFit" version="1.0" runtime="143.21"/>
+  <child ref="ID00003">
+    <parent ref="ID00001"/>
+    <parent ref="ID00002"/>
+  </child>
+  <child ref="ID00004">
+    <parent ref="ID00003"/>
+  </child>
+</adag>`
+
+func TestParseSample(t *testing.T) {
+	g, err := Parse(strings.NewReader(sampleDAX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if g.Weight(0) != 13.59 || g.Weight(3) != 143.21 {
+		t.Fatalf("weights wrong: %v %v", g.Weight(0), g.Weight(3))
+	}
+	if g.Name(0) != "mProjectPP/ID00001" {
+		t.Fatalf("name = %q", g.Name(0))
+	}
+	if got := g.Sources(); len(got) != 2 {
+		t.Fatalf("sources = %v", got)
+	}
+	if got := g.Sinks(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("sinks = %v", got)
+	}
+	for i := 0; i < g.N(); i++ {
+		if g.CkptCost(i) != 0 || g.RecCost(i) != 0 {
+			t.Fatal("DAX import must leave checkpoint costs zero")
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"not xml":        "hello",
+		"no jobs":        `<adag name="x"></adag>`,
+		"dup id":         `<adag><job id="A" runtime="1"/><job id="A" runtime="2"/></adag>`,
+		"bad runtime":    `<adag><job id="A" runtime="abc"/></adag>`,
+		"neg runtime":    `<adag><job id="A" runtime="-4"/></adag>`,
+		"unknown child":  `<adag><job id="A" runtime="1"/><child ref="B"><parent ref="A"/></child></adag>`,
+		"unknown parent": `<adag><job id="A" runtime="1"/><child ref="A"><parent ref="B"/></child></adag>`,
+		"empty id":       `<adag><job runtime="1"/></adag>`,
+		"cycle": `<adag><job id="A" runtime="1"/><job id="B" runtime="1"/>
+			<child ref="A"><parent ref="B"/></child>
+			<child ref="B"><parent ref="A"/></child></adag>`,
+	}
+	for name, doc := range cases {
+		if _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMissingRuntimeDefaultsToZeroWeight(t *testing.T) {
+	doc := `<adag><job id="A"/><job id="B" runtime="2"/>
+		<child ref="B"><parent ref="A"/></child></adag>`
+	g, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Weight(0) != 0 || g.Weight(1) != 2 {
+		t.Fatalf("weights: %v %v", g.Weight(0), g.Weight(1))
+	}
+}
+
+func TestRoundTripSyntheticWorkflow(t *testing.T) {
+	orig, err := pwg.Generate(pwg.CyberShake, 90, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, "cybershake", orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	if back.N() != orig.N() || back.M() != orig.M() {
+		t.Fatalf("structure lost: %d/%d vs %d/%d", back.N(), back.M(), orig.N(), orig.M())
+	}
+	for i := 0; i < orig.N(); i++ {
+		if stats.RelDiff(back.Weight(i), orig.Weight(i)) > 1e-12 {
+			t.Fatalf("weight %d diverged: %v vs %v", i, back.Weight(i), orig.Weight(i))
+		}
+		// Names round-trip with the ID suffix convention.
+		if !strings.HasPrefix(back.Name(i), taskBase(orig.Name(i))) {
+			t.Fatalf("name %d: %q vs %q", i, back.Name(i), orig.Name(i))
+		}
+	}
+	// Edge sets must match exactly.
+	for i := 0; i < orig.N(); i++ {
+		if len(back.Succs(i)) != len(orig.Succs(i)) {
+			t.Fatalf("out-degree of %d diverged", i)
+		}
+	}
+}
+
+func taskBase(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func TestWriteProducesValidXMLHeader(t *testing.T) {
+	g, err := pwg.Generate(pwg.Montage, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, "m", g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, xmlHeaderPrefix) {
+		t.Fatalf("missing XML header: %q", out[:40])
+	}
+	if !strings.Contains(out, `<adag name="m">`) {
+		t.Fatal("missing adag element")
+	}
+}
+
+const xmlHeaderPrefix = "<?xml"

@@ -1,0 +1,338 @@
+// Package experiments defines and runs every experiment of the
+// paper's Section 6 (Figures 2 through 7, including the appendix
+// variants): for each figure, the workload family, failure rate,
+// checkpoint-cost model, x-axis (task count or failure rate) and the
+// set of heuristic series, producing the same T/T_inf curves the
+// paper plots.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/pwg"
+	"repro/internal/report"
+	"repro/internal/sched"
+)
+
+// CostModel is one of the paper's checkpoint-cost regimes.
+type CostModel struct {
+	Name  string
+	Apply func(g *dag.Graph)
+}
+
+// Proportional returns the c_i = r_i = α·w_i model (α = 0.1 in the
+// main experiments, 0.01 in the appendix).
+func Proportional(alpha float64) CostModel {
+	return CostModel{
+		Name: fmt.Sprintf("c=%.2gw", alpha),
+		Apply: func(g *dag.Graph) {
+			g.ScaleCkptCosts(func(t dag.Task) (float64, float64) {
+				return alpha * t.Weight, alpha * t.Weight
+			})
+		},
+	}
+}
+
+// Constant returns the c_i = r_i = k seconds model (k = 5, 10 in
+// Figures 4 and 6).
+func Constant(k float64) CostModel {
+	return CostModel{
+		Name: fmt.Sprintf("c=%gs", k),
+		Apply: func(g *dag.Graph) {
+			g.ScaleCkptCosts(func(dag.Task) (float64, float64) { return k, k })
+		},
+	}
+}
+
+// Kind selects the figure family.
+type Kind int
+
+const (
+	// LinearizationImpact plots {DF,BF,RF} × {CkptW,CkptC}
+	// (Figures 2 and 4).
+	LinearizationImpact Kind = iota
+	// CheckpointImpact plots the six checkpointing strategies, each
+	// with its best linearization (Figures 3, 5, 6 and 7).
+	CheckpointImpact
+)
+
+// Spec is one figure of the paper.
+type Spec struct {
+	ID       string
+	Title    string
+	Workflow pwg.Workflow
+	Lambda   float64
+	Cost     CostModel
+	Kind     Kind
+	// Sizes is the x-axis when sweeping task counts (nil → default
+	// 50..700 step 50). Lambdas is the x-axis when sweeping failure
+	// rates at fixed N tasks (Figure 7).
+	Sizes   []int
+	Lambdas []float64
+	N       int
+}
+
+// DefaultSizes is the paper's task-count sweep.
+func DefaultSizes() []int {
+	var s []int
+	for n := 50; n <= 700; n += 50 {
+		s = append(s, n)
+	}
+	return s
+}
+
+// lambdaSweep reproduces Figure 7's x-axis: seven points from lo to
+// hi, linearly spaced.
+func lambdaSweep(lo, hi float64) []float64 {
+	const k = 7
+	out := make([]float64, k)
+	for i := 0; i < k; i++ {
+		out[i] = lo + (hi-lo)*float64(i)/float64(k-1)
+	}
+	return out
+}
+
+// AllSpecs returns every figure of the paper (main text and
+// appendix), keyed fig2a..fig7d.
+func AllSpecs() []Spec {
+	specs := []Spec{
+		// Figure 2: impact of the linearization strategy, c = 0.1w.
+		{ID: "fig2a", Title: "CyberShake: λ=0.001, c=0.1w (linearization impact)",
+			Workflow: pwg.CyberShake, Lambda: 1e-3, Cost: Proportional(0.1), Kind: LinearizationImpact},
+		{ID: "fig2b", Title: "Ligo: λ=0.001, c=0.1w (linearization impact)",
+			Workflow: pwg.Ligo, Lambda: 1e-3, Cost: Proportional(0.1), Kind: LinearizationImpact},
+		{ID: "fig2c", Title: "Genome: λ=0.0001, c=0.1w (linearization impact)",
+			Workflow: pwg.Genome, Lambda: 1e-4, Cost: Proportional(0.1), Kind: LinearizationImpact},
+
+		// Figure 3: impact of the checkpointing strategy, c = 0.1w.
+		{ID: "fig3a", Title: "Montage: λ=0.001, c=0.1w (checkpointing impact)",
+			Workflow: pwg.Montage, Lambda: 1e-3, Cost: Proportional(0.1), Kind: CheckpointImpact},
+		{ID: "fig3b", Title: "Ligo: λ=0.001, c=0.1w (checkpointing impact)",
+			Workflow: pwg.Ligo, Lambda: 1e-3, Cost: Proportional(0.1), Kind: CheckpointImpact},
+		{ID: "fig3c", Title: "CyberShake: λ=0.001, c=0.1w (checkpointing impact)",
+			Workflow: pwg.CyberShake, Lambda: 1e-3, Cost: Proportional(0.1), Kind: CheckpointImpact},
+		{ID: "fig3d", Title: "Genome: λ=0.0001, c=0.1w (checkpointing impact)",
+			Workflow: pwg.Genome, Lambda: 1e-4, Cost: Proportional(0.1), Kind: CheckpointImpact},
+
+		// Figure 4: linearization impact under constant checkpoints
+		// (CyberShake).
+		{ID: "fig4a", Title: "CyberShake: λ=0.001, c=10s (linearization impact)",
+			Workflow: pwg.CyberShake, Lambda: 1e-3, Cost: Constant(10), Kind: LinearizationImpact},
+		{ID: "fig4b", Title: "CyberShake: λ=0.001, c=5s (linearization impact)",
+			Workflow: pwg.CyberShake, Lambda: 1e-3, Cost: Constant(5), Kind: LinearizationImpact},
+		{ID: "fig4c", Title: "CyberShake: λ=0.001, c=0.01w (linearization impact)",
+			Workflow: pwg.CyberShake, Lambda: 1e-3, Cost: Proportional(0.01), Kind: LinearizationImpact},
+
+		// Figure 5: checkpointing impact, c = 0.01w.
+		{ID: "fig5a", Title: "Montage: λ=0.001, c=0.01w (checkpointing impact)",
+			Workflow: pwg.Montage, Lambda: 1e-3, Cost: Proportional(0.01), Kind: CheckpointImpact},
+		{ID: "fig5b", Title: "Ligo: λ=0.001, c=0.01w (checkpointing impact)",
+			Workflow: pwg.Ligo, Lambda: 1e-3, Cost: Proportional(0.01), Kind: CheckpointImpact},
+		{ID: "fig5c", Title: "CyberShake: λ=0.001, c=0.01w (checkpointing impact)",
+			Workflow: pwg.CyberShake, Lambda: 1e-3, Cost: Proportional(0.01), Kind: CheckpointImpact},
+		{ID: "fig5d", Title: "Genome: λ=0.0001, c=0.01w (checkpointing impact)",
+			Workflow: pwg.Genome, Lambda: 1e-4, Cost: Proportional(0.01), Kind: CheckpointImpact},
+
+		// Figure 6: checkpointing impact, c = 5 s.
+		{ID: "fig6a", Title: "Montage: λ=0.001, c=5s (checkpointing impact)",
+			Workflow: pwg.Montage, Lambda: 1e-3, Cost: Constant(5), Kind: CheckpointImpact},
+		{ID: "fig6b", Title: "Ligo: λ=0.001, c=5s (checkpointing impact)",
+			Workflow: pwg.Ligo, Lambda: 1e-3, Cost: Constant(5), Kind: CheckpointImpact},
+		{ID: "fig6c", Title: "CyberShake: λ=0.001, c=5s (checkpointing impact)",
+			Workflow: pwg.CyberShake, Lambda: 1e-3, Cost: Constant(5), Kind: CheckpointImpact},
+		{ID: "fig6d", Title: "Genome: λ=0.0001, c=5s (checkpointing impact)",
+			Workflow: pwg.Genome, Lambda: 1e-4, Cost: Constant(5), Kind: CheckpointImpact},
+
+		// Figure 7: λ sweep at 200 tasks, c = 0.1w.
+		{ID: "fig7a", Title: "Montage: 200 tasks, c=0.1w (λ sweep)",
+			Workflow: pwg.Montage, Cost: Proportional(0.1), Kind: CheckpointImpact,
+			N: 200, Lambdas: lambdaSweep(1e-4, 9.3e-4)},
+		{ID: "fig7b", Title: "Ligo: 200 tasks, c=0.1w (λ sweep)",
+			Workflow: pwg.Ligo, Cost: Proportional(0.1), Kind: CheckpointImpact,
+			N: 200, Lambdas: lambdaSweep(1e-4, 9.3e-4)},
+		{ID: "fig7c", Title: "CyberShake: 200 tasks, c=0.1w (λ sweep)",
+			Workflow: pwg.CyberShake, Cost: Proportional(0.1), Kind: CheckpointImpact,
+			N: 200, Lambdas: lambdaSweep(1e-4, 9.3e-4)},
+		{ID: "fig7d", Title: "Genome: 200 tasks, c=0.1w (λ sweep)",
+			Workflow: pwg.Genome, Cost: Proportional(0.1), Kind: CheckpointImpact,
+			N: 200, Lambdas: lambdaSweep(1e-6, 2.7e-4)},
+	}
+	return specs
+}
+
+// SpecByID returns the figure spec with the given ID.
+func SpecByID(id string) (Spec, error) {
+	for _, s := range AllSpecs() {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("experiments: unknown figure %q", id)
+}
+
+// Config tunes an experiment run.
+type Config struct {
+	// Grid bounds the checkpoint-count search (≤ 0: the paper's
+	// exhaustive N = 1..n−1; the harness's -quick mode uses ~60).
+	Grid int
+	// Seed drives workflow generation and the RF linearizer.
+	Seed uint64
+	// Sizes overrides the task-count sweep (nil: spec / default).
+	Sizes []int
+	// Workers bounds parallelism (≤ 0: GOMAXPROCS).
+	Workers int
+}
+
+// point is one x-value's work item.
+type point struct {
+	idx    int
+	n      int
+	lambda float64
+}
+
+// Run executes one figure and returns its series.
+func Run(spec Spec, cfg Config) (*report.Figure, error) {
+	var pts []point
+	var xs []float64
+	var xlabel string
+	if len(spec.Lambdas) > 0 {
+		xlabel = "lambda"
+		for i, l := range spec.Lambdas {
+			pts = append(pts, point{idx: i, n: spec.N, lambda: l})
+			xs = append(xs, l)
+		}
+	} else {
+		sizes := cfg.Sizes
+		if sizes == nil {
+			sizes = spec.Sizes
+		}
+		if sizes == nil {
+			sizes = DefaultSizes()
+		}
+		xlabel = "tasks"
+		for i, n := range sizes {
+			pts = append(pts, point{idx: i, n: n, lambda: spec.Lambda})
+			xs = append(xs, float64(n))
+		}
+	}
+
+	seriesNames := seriesNamesFor(spec.Kind)
+	ys := make([][]float64, len(seriesNames))
+	for i := range ys {
+		ys[i] = make([]float64, len(pts))
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pts) {
+		workers = len(pts)
+	}
+	work := make(chan point)
+	errs := make(chan error, len(pts))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev := core.NewEvaluator()
+			for pt := range work {
+				vals, err := evalPoint(spec, cfg, pt, ev)
+				if err != nil {
+					errs <- fmt.Errorf("%s at x=%d: %w", spec.ID, pt.n, err)
+					continue
+				}
+				for s := range vals {
+					ys[s][pt.idx] = vals[s]
+				}
+			}
+		}()
+	}
+	for _, pt := range pts {
+		work <- pt
+	}
+	close(work)
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+
+	fig := &report.Figure{ID: spec.ID, Title: spec.Title, XLabel: xlabel, X: xs}
+	for i, name := range seriesNames {
+		if err := fig.AddSeries(name, ys[i]); err != nil {
+			return nil, err
+		}
+	}
+	return fig, nil
+}
+
+// seriesNamesFor lists the series of each figure kind, in plot order.
+func seriesNamesFor(k Kind) []string {
+	if k == LinearizationImpact {
+		return []string{
+			"DF-CkptW", "BF-CkptW", "RF-CkptW",
+			"DF-CkptC", "BF-CkptC", "RF-CkptC",
+		}
+	}
+	return []string{"CkptNvr", "CkptAlws", "CkptPer", "CkptW", "CkptC", "CkptD"}
+}
+
+// evalPoint computes every series value at one x-point. The workflow
+// instance is shared by all series, mirroring the paper's setup.
+func evalPoint(spec Spec, cfg Config, pt point, ev *core.Evaluator) ([]float64, error) {
+	seed := cfg.Seed ^ (uint64(pt.n) * 0x9e3779b97f4a7c15) ^ uint64(spec.Workflow+1)
+	g, err := pwg.Generate(spec.Workflow, pt.n, seed)
+	if err != nil {
+		return nil, err
+	}
+	spec.Cost.Apply(g)
+	plat := failure.Platform{Lambda: pt.lambda}
+	opt := sched.Options{RFSeed: seed ^ 0xabcdef, Grid: cfg.Grid}
+	tinf := g.TotalWeight()
+
+	ratio := func(h sched.Heuristic) float64 {
+		return h.RunWith(g, plat, ev).Expected / tinf
+	}
+	lins := []sched.Linearizer{sched.DF{}, sched.BF{}, sched.RF{Seed: opt.RFSeed}}
+
+	if spec.Kind == LinearizationImpact {
+		out := make([]float64, 0, 6)
+		for _, strat := range []sched.Strategy{sched.NewCkptW(cfg.Grid), sched.NewCkptC(cfg.Grid)} {
+			for _, lin := range lins {
+				out = append(out, ratio(sched.Heuristic{Lin: lin, Strat: strat}))
+			}
+		}
+		// Order: DF-W, BF-W, RF-W, DF-C, BF-C, RF-C (matches
+		// seriesNamesFor).
+		return out, nil
+	}
+
+	// CheckpointImpact: each strategy plotted with its best
+	// linearization (the baselines use DF only, as in Section 5).
+	out := make([]float64, 0, 6)
+	out = append(out, ratio(sched.Heuristic{Lin: sched.DF{}, Strat: sched.CkptNvr{}}))
+	out = append(out, ratio(sched.Heuristic{Lin: sched.DF{}, Strat: sched.CkptAlws{}}))
+	for _, strat := range []sched.Strategy{
+		sched.CkptPer{Grid: cfg.Grid},
+		sched.NewCkptW(cfg.Grid),
+		sched.NewCkptC(cfg.Grid),
+		sched.NewCkptD(cfg.Grid),
+	} {
+		best := -1.0
+		for _, lin := range lins {
+			v := ratio(sched.Heuristic{Lin: lin, Strat: strat})
+			if best < 0 || v < best {
+				best = v
+			}
+		}
+		out = append(out, best)
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/pwg"
+)
+
+// fastCfg keeps harness tests quick: tiny sizes, coarse N grid.
+var fastCfg = Config{Grid: 8, Seed: 1, Sizes: []int{40, 60}, Workers: 4}
+
+func TestAllSpecsComplete(t *testing.T) {
+	specs := AllSpecs()
+	if len(specs) != 22 {
+		t.Fatalf("AllSpecs returned %d figures, want 22 (3+4+3+4+4+4)", len(specs))
+	}
+	ids := map[string]bool{}
+	for _, s := range specs {
+		if ids[s.ID] {
+			t.Fatalf("duplicate figure ID %s", s.ID)
+		}
+		ids[s.ID] = true
+		if s.Title == "" {
+			t.Fatalf("%s has no title", s.ID)
+		}
+	}
+	for _, want := range []string{"fig2a", "fig2b", "fig2c", "fig3a", "fig3b", "fig3c", "fig3d",
+		"fig4a", "fig4b", "fig4c", "fig5a", "fig5d", "fig6a", "fig6d", "fig7a", "fig7d"} {
+		if !ids[want] {
+			t.Fatalf("missing figure %s", want)
+		}
+	}
+}
+
+func TestSpecByID(t *testing.T) {
+	s, err := SpecByID("fig3a")
+	if err != nil || s.Workflow != pwg.Montage {
+		t.Fatalf("SpecByID(fig3a) = %+v, %v", s, err)
+	}
+	if _, err := SpecByID("fig99"); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+}
+
+func TestCostModels(t *testing.T) {
+	g := dag.Chain([]float64{10, 20}, nil)
+	Proportional(0.1).Apply(g)
+	if g.CkptCost(1) != 2 || g.RecCost(1) != 2 {
+		t.Fatalf("proportional: c=%v r=%v", g.CkptCost(1), g.RecCost(1))
+	}
+	Constant(5).Apply(g)
+	if g.CkptCost(0) != 5 || g.RecCost(1) != 5 {
+		t.Fatal("constant cost model wrong")
+	}
+	if !strings.Contains(Proportional(0.1).Name, "0.1") || !strings.Contains(Constant(5).Name, "5") {
+		t.Fatal("cost model names wrong")
+	}
+}
+
+func TestRunLinearizationFigure(t *testing.T) {
+	spec, err := SpecByID("fig2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := Run(spec, fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 6 {
+		t.Fatalf("linearization figure has %d series", len(fig.Series))
+	}
+	if len(fig.X) != 2 || fig.X[0] != 40 {
+		t.Fatalf("X = %v", fig.X)
+	}
+	for _, s := range fig.Series {
+		for i, v := range s.Y {
+			if v < 1 || math.IsInf(v, 0) || math.IsNaN(v) {
+				t.Fatalf("%s[%d] = %v (T/Tinf must be ≥ 1)", s.Name, i, v)
+			}
+		}
+	}
+}
+
+func TestRunCheckpointFigure(t *testing.T) {
+	spec, err := SpecByID("fig3c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := Run(spec, fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string][]float64{}
+	for _, s := range fig.Series {
+		names[s.Name] = s.Y
+	}
+	for _, want := range []string{"CkptNvr", "CkptAlws", "CkptPer", "CkptW", "CkptC", "CkptD"} {
+		if names[want] == nil {
+			t.Fatalf("missing series %s", want)
+		}
+	}
+	// The searching heuristics must not lose to both baselines at any
+	// point (they search a superset-quality space; ties possible).
+	for i := range fig.X {
+		bestSearch := math.Min(math.Min(names["CkptW"][i], names["CkptC"][i]), names["CkptD"][i])
+		worstBase := math.Max(names["CkptNvr"][i], names["CkptAlws"][i])
+		if bestSearch > worstBase+1e-9 {
+			t.Fatalf("x=%v: best searching heuristic %v worse than worst baseline %v",
+				fig.X[i], bestSearch, worstBase)
+		}
+	}
+}
+
+func TestRunLambdaSweepFigure(t *testing.T) {
+	spec, err := SpecByID("fig7c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := Run(spec, Config{Grid: 8, Seed: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.XLabel != "lambda" || len(fig.X) != 7 {
+		t.Fatalf("λ sweep axis wrong: %s %v", fig.XLabel, fig.X)
+	}
+	// Ratios must grow with λ for every strategy.
+	for _, s := range fig.Series {
+		if s.Y[len(s.Y)-1] < s.Y[0] {
+			t.Fatalf("%s not increasing in λ: %v", s.Name, s.Y)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	spec, err := SpecByID("fig2b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg1 := fastCfg
+	cfg1.Workers = 1
+	cfg8 := fastCfg
+	cfg8.Workers = 8
+	a, err := Run(spec, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec, cfg8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Series {
+		for j := range a.Series[i].Y {
+			if a.Series[i].Y[j] != b.Series[i].Y[j] {
+				t.Fatalf("series %s diverges across worker counts", a.Series[i].Name)
+			}
+		}
+	}
+}
+
+func TestDefaultSizes(t *testing.T) {
+	s := DefaultSizes()
+	if len(s) != 14 || s[0] != 50 || s[13] != 700 {
+		t.Fatalf("DefaultSizes = %v", s)
+	}
+}
+
+func TestRunPropagatesGeneratorErrors(t *testing.T) {
+	spec, err := SpecByID("fig3a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := fastCfg
+	bad.Sizes = []int{3} // below Montage's minimum
+	if _, err := Run(spec, bad); err == nil {
+		t.Fatal("generator error swallowed")
+	}
+}

@@ -1,0 +1,108 @@
+// Package failure models the failure-prone platform of the paper: p
+// processors with i.i.d. exponentially distributed failures act as a
+// single macro-processor with rate λ = p·λ_proc and a constant
+// downtime D. It provides the closed-form expectations of Section 3,
+// in particular Eq. (1):
+//
+//	E[t(w; c; r)] = e^{λr} (1/λ + D) (e^{λ(w+c)} − 1)
+//
+// which is the expected time to execute w seconds of work followed by
+// a c-second checkpoint when every attempt starts with an r-second
+// recovery after a failure; failures may strike during recovery and
+// checkpointing.
+package failure
+
+import (
+	"fmt"
+	"math"
+)
+
+// Platform describes the macro-processor. Lambda is the failure rate
+// (1/MTBF) of the whole set of processors; Downtime is the constant
+// unavailability D after each failure.
+type Platform struct {
+	Lambda   float64
+	Downtime float64
+}
+
+// NewPlatform builds a platform from a per-processor MTBF and a
+// processor count, following λ = p/µ_proc (the paper's µ = µ_proc/p).
+func NewPlatform(mtbfProc float64, procs int, downtime float64) Platform {
+	if mtbfProc <= 0 || procs <= 0 {
+		panic("failure: NewPlatform needs positive MTBF and processor count")
+	}
+	return Platform{Lambda: float64(procs) / mtbfProc, Downtime: downtime}
+}
+
+// MTBF returns the platform-level mean time between failures 1/λ.
+func (p Platform) MTBF() float64 { return 1 / p.Lambda }
+
+// Validate checks that the platform parameters make sense: λ > 0
+// (λ = 0, the failure-free case, is handled by the evaluator
+// separately) and D ≥ 0.
+func (p Platform) Validate() error {
+	if p.Lambda < 0 || math.IsNaN(p.Lambda) || math.IsInf(p.Lambda, 0) {
+		return fmt.Errorf("failure: invalid lambda %v", p.Lambda)
+	}
+	if p.Downtime < 0 || math.IsNaN(p.Downtime) || math.IsInf(p.Downtime, 0) {
+		return fmt.Errorf("failure: invalid downtime %v", p.Downtime)
+	}
+	return nil
+}
+
+// FailureFree reports whether the platform never fails (λ == 0).
+func (p Platform) FailureFree() bool { return p.Lambda == 0 }
+
+// ExpectedTime returns E[t(w; c; r)] per Eq. (1). For λ = 0 it
+// returns the deterministic w + c (no failure ever occurs, so the
+// recovery r is never paid). All arguments must be non-negative.
+func (p Platform) ExpectedTime(w, c, r float64) float64 {
+	if w < 0 || c < 0 || r < 0 {
+		panic(fmt.Sprintf("failure: ExpectedTime with negative argument w=%v c=%v r=%v", w, c, r))
+	}
+	if w+c == 0 {
+		return 0
+	}
+	if p.Lambda == 0 {
+		return w + c
+	}
+	l := p.Lambda
+	// e^{λr}(1/λ+D)(e^{λ(w+c)}−1); math.Expm1 keeps precision when
+	// λ(w+c) is tiny, which is the common regime (MTBF ≫ w).
+	return math.Exp(l*r) * (1/l + p.Downtime) * math.Expm1(l*(w+c))
+}
+
+// ExpectedLost returns E[t_lost(w)] = 1/λ − w/(e^{λw} − 1), the
+// expected time lost (work destroyed) by a failure that is known to
+// strike during an attempt of length w, as used in the join-DAG
+// analysis (Lemma 2).
+func (p Platform) ExpectedLost(w float64) float64 {
+	if w < 0 {
+		panic("failure: ExpectedLost with negative work")
+	}
+	if p.Lambda == 0 {
+		return 0
+	}
+	if w == 0 {
+		return 0
+	}
+	l := p.Lambda
+	return 1/l - w/math.Expm1(l*w)
+}
+
+// SuccessProb returns e^{−λw}, the probability that a segment of
+// length w executes without any failure.
+func (p Platform) SuccessProb(w float64) float64 {
+	if w < 0 {
+		panic("failure: SuccessProb with negative work")
+	}
+	if p.Lambda == 0 {
+		return 1
+	}
+	return math.Exp(-p.Lambda * w)
+}
+
+// String renders the platform parameters.
+func (p Platform) String() string {
+	return fmt.Sprintf("platform{λ=%g, D=%g}", p.Lambda, p.Downtime)
+}

@@ -1,0 +1,249 @@
+package failure
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestNewPlatform(t *testing.T) {
+	p := NewPlatform(1000, 10, 5)
+	if got, want := p.Lambda, 0.01; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Lambda = %v, want %v", got, want)
+	}
+	if p.Downtime != 5 {
+		t.Fatalf("Downtime = %v", p.Downtime)
+	}
+	if got, want := p.MTBF(), 100.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MTBF = %v, want %v", got, want)
+	}
+}
+
+func TestNewPlatformPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPlatform(0, ...) did not panic")
+		}
+	}()
+	NewPlatform(0, 1, 0)
+}
+
+func TestValidate(t *testing.T) {
+	good := Platform{Lambda: 0.001, Downtime: 0}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Platform{
+		{Lambda: -1},
+		{Lambda: math.NaN()},
+		{Lambda: math.Inf(1)},
+		{Lambda: 1, Downtime: -1},
+		{Lambda: 1, Downtime: math.NaN()},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("Validate accepted %+v", bad)
+		}
+	}
+}
+
+func TestFailureFree(t *testing.T) {
+	if !(Platform{}).FailureFree() {
+		t.Fatal("λ=0 should be failure-free")
+	}
+	if (Platform{Lambda: 1}).FailureFree() {
+		t.Fatal("λ=1 reported failure-free")
+	}
+}
+
+func TestExpectedTimeFailureFree(t *testing.T) {
+	p := Platform{Lambda: 0, Downtime: 100}
+	if got := p.ExpectedTime(10, 3, 7); got != 13 {
+		t.Fatalf("λ=0 ExpectedTime = %v, want 13", got)
+	}
+}
+
+func TestExpectedTimeZeroWork(t *testing.T) {
+	p := Platform{Lambda: 0.1}
+	if got := p.ExpectedTime(0, 0, 5); got != 0 {
+		t.Fatalf("E[t(0;0;r)] = %v, want 0", got)
+	}
+}
+
+func TestExpectedTimeClosedForm(t *testing.T) {
+	p := Platform{Lambda: 0.01, Downtime: 2}
+	w, c, r := 30.0, 4.0, 3.0
+	want := math.Exp(p.Lambda*r) * (1/p.Lambda + p.Downtime) * (math.Exp(p.Lambda*(w+c)) - 1)
+	if got := p.ExpectedTime(w, c, r); stats.RelDiff(got, want) > 1e-12 {
+		t.Fatalf("ExpectedTime = %v, want %v", got, want)
+	}
+}
+
+func TestExpectedTimeAtLeastWork(t *testing.T) {
+	// E[t] ≥ w + c always (failures only add time).
+	f := func(wRaw, cRaw, rRaw, lRaw float64) bool {
+		w := math.Mod(math.Abs(wRaw), 1000)
+		c := math.Mod(math.Abs(cRaw), 100)
+		r := math.Mod(math.Abs(rRaw), 100)
+		l := math.Mod(math.Abs(lRaw), 0.01)
+		p := Platform{Lambda: l}
+		return p.ExpectedTime(w, c, r) >= w+c-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedTimeMonotonicity(t *testing.T) {
+	p := Platform{Lambda: 0.001, Downtime: 1}
+	base := p.ExpectedTime(100, 10, 5)
+	if p.ExpectedTime(101, 10, 5) <= base {
+		t.Fatal("not increasing in w")
+	}
+	if p.ExpectedTime(100, 11, 5) <= base {
+		t.Fatal("not increasing in c")
+	}
+	if p.ExpectedTime(100, 10, 6) <= base {
+		t.Fatal("not increasing in r")
+	}
+	pWorse := Platform{Lambda: 0.002, Downtime: 1}
+	if pWorse.ExpectedTime(100, 10, 5) <= base {
+		t.Fatal("not increasing in λ")
+	}
+}
+
+func TestExpectedTimeSmallLambdaLimit(t *testing.T) {
+	// As λ→0, E[t(w;c;r)] → w + c. Check with a tiny λ.
+	p := Platform{Lambda: 1e-12}
+	got := p.ExpectedTime(100, 10, 5)
+	if math.Abs(got-110) > 1e-6 {
+		t.Fatalf("small-λ limit = %v, want ≈110", got)
+	}
+}
+
+func TestExpectedTimePanicsNegative(t *testing.T) {
+	p := Platform{Lambda: 0.1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative w did not panic")
+		}
+	}()
+	p.ExpectedTime(-1, 0, 0)
+}
+
+// Monte-Carlo check of Eq. (1). The model behind
+// E[t(w;c;r)] = e^{λr}(1/λ+D)(e^{λ(w+c)}−1) is: the first attempt
+// executes w+c directly; every retry after a failure pays the
+// recovery r first, and failures may strike during recovery and
+// checkpointing. (Equivalently, by the renewal identity, it equals
+// E'(r+w+c) − E'(r) with E'(x) = (1/λ+D)(e^{λx}−1).)
+func TestExpectedTimeMonteCarlo(t *testing.T) {
+	p := Platform{Lambda: 0.02, Downtime: 3}
+	w, c, r := 40.0, 5.0, 10.0
+	src := rng.New(12345)
+	var acc stats.Accumulator
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		elapsed, recovery := 0.0, 0.0 // first attempt needs no recovery
+		for {
+			need := recovery + w + c
+			fail := src.Exp(p.Lambda)
+			if fail >= need {
+				elapsed += need
+				break
+			}
+			elapsed += fail + p.Downtime
+			recovery = r
+		}
+		acc.Add(elapsed)
+	}
+	want := p.ExpectedTime(w, c, r)
+	if math.Abs(acc.Mean()-want) > 4*acc.CI(0.99)+1e-9 {
+		t.Fatalf("Monte-Carlo mean %v ± %v vs closed form %v",
+			acc.Mean(), acc.CI(0.99), want)
+	}
+}
+
+// The renewal identity behind Eq. (1): E[t(w;c;r)] =
+// E[t(r+w+c;0;0)] − E[t(r;0;0)] for every parameter combination.
+func TestExpectedTimeRenewalIdentity(t *testing.T) {
+	f := func(wRaw, cRaw, rRaw float64) bool {
+		w := math.Mod(math.Abs(wRaw), 500)
+		c := math.Mod(math.Abs(cRaw), 50)
+		r := math.Mod(math.Abs(rRaw), 50)
+		if w+c == 0 {
+			return true
+		}
+		p := Platform{Lambda: 0.003, Downtime: 1.5}
+		lhs := p.ExpectedTime(w, c, r)
+		rhs := p.ExpectedTime(r+w+c, 0, 0) - p.ExpectedTime(r, 0, 0)
+		return stats.RelDiff(lhs, rhs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedLost(t *testing.T) {
+	p := Platform{Lambda: 0.01}
+	w := 50.0
+	want := 1/p.Lambda - w/(math.Exp(p.Lambda*w)-1)
+	if got := p.ExpectedLost(w); stats.RelDiff(got, want) > 1e-12 {
+		t.Fatalf("ExpectedLost = %v, want %v", got, want)
+	}
+	if p.ExpectedLost(0) != 0 {
+		t.Fatal("ExpectedLost(0) != 0")
+	}
+	if (Platform{}).ExpectedLost(10) != 0 {
+		t.Fatal("failure-free ExpectedLost != 0")
+	}
+	// E[t_lost(w)] < w and < 1/λ for all w > 0.
+	for _, w := range []float64{0.1, 1, 10, 100, 1000} {
+		lost := p.ExpectedLost(w)
+		if lost <= 0 || lost >= w && lost >= 1/p.Lambda {
+			t.Fatalf("ExpectedLost(%v) = %v out of range", w, lost)
+		}
+	}
+}
+
+// Monte-Carlo check of E[t_lost]: time of failure conditioned on the
+// failure striking before w.
+func TestExpectedLostMonteCarlo(t *testing.T) {
+	p := Platform{Lambda: 0.05}
+	w := 30.0
+	src := rng.New(777)
+	var acc stats.Accumulator
+	for i := 0; i < 300000; i++ {
+		x := src.Exp(p.Lambda)
+		if x < w {
+			acc.Add(x)
+		}
+	}
+	want := p.ExpectedLost(w)
+	if math.Abs(acc.Mean()-want) > 4*acc.CI(0.99) {
+		t.Fatalf("MC E[t_lost] = %v ± %v, want %v", acc.Mean(), acc.CI(0.99), want)
+	}
+}
+
+func TestSuccessProb(t *testing.T) {
+	p := Platform{Lambda: 0.01}
+	if got, want := p.SuccessProb(100), math.Exp(-1); stats.RelDiff(got, want) > 1e-12 {
+		t.Fatalf("SuccessProb = %v, want %v", got, want)
+	}
+	if p.SuccessProb(0) != 1 {
+		t.Fatal("SuccessProb(0) != 1")
+	}
+	if (Platform{}).SuccessProb(1e9) != 1 {
+		t.Fatal("failure-free SuccessProb != 1")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Platform{Lambda: 0.001, Downtime: 2}.String()
+	if !strings.Contains(s, "0.001") {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,91 @@
+// Package fork implements Theorem 1 of the paper: DAG-ChkptSched is
+// solvable in linear time for fork DAGs (one source task feeding n
+// sink tasks).
+//
+// With a checkpointed source, the expected makespan is
+// E[t(w_src; c_src; 0)] + Σ_i E[t(w_i; 0; r_src)]; without, it is
+// E[t(w_src; 0; 0)] + Σ_i E[t(w_i; 0; w_src)] (re-executing the
+// source plays the role of the recovery). The leaf order does not
+// matter (failures are memoryless), and checkpointing a sink is pure
+// overhead since nothing consumes its output, so the whole decision
+// reduces to whether the source is checkpointed.
+package fork
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+)
+
+// IsFork reports whether g is a fork DAG and, if so, returns the
+// source ID and the leaf IDs.
+func IsFork(g *dag.Graph) (src int, leaves []int, ok bool) {
+	n := g.N()
+	if n < 2 {
+		return 0, nil, false
+	}
+	src = -1
+	for i := 0; i < n; i++ {
+		switch {
+		case g.InDegree(i) == 0 && g.OutDegree(i) == n-1:
+			if src != -1 {
+				return 0, nil, false
+			}
+			src = i
+		case g.InDegree(i) == 1 && g.OutDegree(i) == 0:
+			leaves = append(leaves, i)
+		default:
+			return 0, nil, false
+		}
+	}
+	if src == -1 || len(leaves) != n-1 {
+		return 0, nil, false
+	}
+	return src, leaves, true
+}
+
+// Expected returns the expected makespan of the fork when the source
+// is (srcCkpt) or is not checkpointed, per the Theorem 1 case
+// analysis.
+func Expected(g *dag.Graph, p failure.Platform, src int, leaves []int, srcCkpt bool) float64 {
+	t := g.Task(src)
+	var total float64
+	var rho float64
+	if srcCkpt {
+		total = p.ExpectedTime(t.Weight, t.CkptCost, 0)
+		rho = t.RecCost
+	} else {
+		total = p.ExpectedTime(t.Weight, 0, 0)
+		rho = t.Weight
+	}
+	for _, l := range leaves {
+		total += p.ExpectedTime(g.Weight(l), 0, rho)
+	}
+	return total
+}
+
+// Solve returns an optimal schedule for the fork DAG g: the source
+// first (checkpointed iff that lowers the expectation), then the
+// leaves in ID order. It errors if g is not a fork.
+func Solve(g *dag.Graph, p failure.Platform) (*core.Schedule, float64, error) {
+	src, leaves, ok := IsFork(g)
+	if !ok {
+		return nil, 0, fmt.Errorf("fork: graph %v is not a fork DAG", g)
+	}
+	with := Expected(g, p, src, leaves, true)
+	without := Expected(g, p, src, leaves, false)
+	ckpt := make([]bool, g.N())
+	best := without
+	if with < without {
+		ckpt[src] = true
+		best = with
+	}
+	order := append([]int{src}, leaves...)
+	s, err := core.NewSchedule(g, order, ckpt)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, best, nil
+}

@@ -1,0 +1,136 @@
+package fork
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bruteforce"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+var plat = failure.Platform{Lambda: 0.01, Downtime: 1}
+
+func TestIsFork(t *testing.T) {
+	g := dag.Fork([]float64{10, 1, 2, 3}, nil)
+	src, leaves, ok := IsFork(g)
+	if !ok || src != 0 || len(leaves) != 3 {
+		t.Fatalf("IsFork = (%d, %v, %v)", src, leaves, ok)
+	}
+	if _, _, ok := IsFork(dag.Chain([]float64{1, 2, 3}, nil)); ok {
+		t.Fatal("3-chain recognized as fork")
+	}
+	if _, _, ok := IsFork(dag.Join([]float64{1, 2, 3}, nil)); ok {
+		t.Fatal("join recognized as fork")
+	}
+	// A 2-task chain is structurally a fork with one leaf.
+	if _, _, ok := IsFork(dag.Chain([]float64{1, 2}, nil)); !ok {
+		t.Fatal("2-chain (degenerate fork) not recognized")
+	}
+}
+
+func TestExpectedMatchesCoreEval(t *testing.T) {
+	g := dag.Fork([]float64{25, 8, 14, 30, 3}, dag.UniformCosts(0.1))
+	src, leaves, _ := IsFork(g)
+	order := append([]int{src}, leaves...)
+	for _, ck := range []bool{false, true} {
+		mask := make([]bool, g.N())
+		mask[src] = ck
+		s, err := core.NewSchedule(g, order, mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Expected(g, plat, src, leaves, ck)
+		want := core.Eval(s, plat)
+		if stats.RelDiff(got, want) > 1e-10 {
+			t.Fatalf("srcCkpt=%v: Theorem 1 form %v vs evaluator %v", ck, got, want)
+		}
+	}
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	cases := [][]float64{
+		{50, 10, 20, 5}, // heavy source → checkpoint it
+		{1, 40, 40, 40}, // light source, heavy leaves
+		{100, 1, 1},     // very heavy source
+		{2, 3},          // degenerate: single leaf
+		{10, 10, 10, 10, 10},
+	}
+	for _, ws := range cases {
+		g := dag.Fork(ws, dag.UniformCosts(0.1))
+		s, v, err := Solve(g, plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := core.Eval(s, plat); stats.RelDiff(got, v) > 1e-10 {
+			t.Fatalf("fork %v: Solve value %v but evaluator %v", ws, v, got)
+		}
+		bf, err := bruteforce.Solve(g, plat, 1<<21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bf.Exhausted {
+			t.Fatalf("fork %v: brute force not exhausted", ws)
+		}
+		if v > bf.Expected*(1+1e-10) {
+			t.Fatalf("fork %v: Solve %v worse than brute force %v", ws, v, bf.Expected)
+		}
+	}
+}
+
+func TestHeavySourceGetsCheckpointed(t *testing.T) {
+	g := dag.Fork([]float64{500, 50, 50, 50}, dag.UniformCosts(0.02))
+	s, _, err := Solve(g, failure.Platform{Lambda: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Ckpt[0] {
+		t.Fatal("heavy source with cheap checkpoint not checkpointed")
+	}
+}
+
+func TestTrivialSourceNotCheckpointed(t *testing.T) {
+	g := dag.Fork([]float64{0.1, 50, 50}, dag.ConstantCosts(20))
+	s, _, err := Solve(g, failure.Platform{Lambda: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ckpt[0] {
+		t.Fatal("tiny source with expensive checkpoint was checkpointed")
+	}
+}
+
+func TestSolveRejectsNonFork(t *testing.T) {
+	if _, _, err := Solve(dag.Join([]float64{1, 2, 3}, nil), plat); err == nil {
+		t.Fatal("Solve accepted a join")
+	}
+}
+
+// Property: Solve is optimal among the two candidate decisions for
+// random instances, and always no worse than brute force.
+func TestSolveOptimalProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 2 + int(nRaw%4) // 2..5 tasks keeps brute force instant
+		r := rng.New(seed)
+		ws := make([]float64, n)
+		for i := range ws {
+			ws[i] = r.Uniform(1, 120)
+		}
+		g := dag.Fork(ws, dag.UniformCosts(0.1))
+		_, v, err := Solve(g, plat)
+		if err != nil {
+			return false
+		}
+		bf, err := bruteforce.Solve(g, plat, 1<<18)
+		if err != nil || !bf.Exhausted {
+			return false
+		}
+		return v <= bf.Expected*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,267 @@
+// Package join implements the paper's analysis of join DAGs (n
+// source tasks feeding one sink): the closed-form expected makespan
+// of a schedule given the checkpointed set (Lemma 1 + Lemma 2,
+// Eq. (2)), the optimal ordering of checkpointed tasks by
+// non-increasing g(i), the polynomial algorithm for uniform
+// checkpoint/recovery costs (Corollary 1), the zero-recovery closed
+// form (Corollary 2), and an exhaustive optimal solver for small
+// instances. Theorem 2 shows the general problem is NP-complete (see
+// package npc for the reduction), so the exhaustive solver is
+// exponential by necessity.
+package join
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+)
+
+// IsJoin reports whether g is a join DAG and, if so, returns the sink
+// ID and the source IDs (in increasing ID order).
+func IsJoin(g *dag.Graph) (sink int, sources []int, ok bool) {
+	n := g.N()
+	if n < 2 {
+		return 0, nil, false
+	}
+	sink = -1
+	for i := 0; i < n; i++ {
+		switch {
+		case g.OutDegree(i) == 0 && g.InDegree(i) == n-1:
+			if sink != -1 {
+				return 0, nil, false
+			}
+			sink = i
+		case g.OutDegree(i) == 1 && g.InDegree(i) == 0:
+			sources = append(sources, i)
+		default:
+			return 0, nil, false
+		}
+	}
+	if sink == -1 || len(sources) != n-1 {
+		return 0, nil, false
+	}
+	return sink, sources, true
+}
+
+// GValue returns g(i) = e^{−λ(w_i+c_i+r_i)} + e^{−λr_i} − e^{−λ(w_i+c_i)},
+// the key of Lemma 2: in an optimal schedule the checkpointed tasks
+// are executed by non-increasing g.
+func GValue(p failure.Platform, t dag.Task) float64 {
+	l := p.Lambda
+	return math.Exp(-l*(t.Weight+t.CkptCost+t.RecCost)) +
+		math.Exp(-l*t.RecCost) -
+		math.Exp(-l*(t.Weight+t.CkptCost))
+}
+
+// OrderCkpt returns the task IDs of set sorted by non-increasing
+// GValue (ties broken by ID for determinism). The input is not
+// modified.
+func OrderCkpt(g *dag.Graph, p failure.Platform, set []int) []int {
+	out := append([]int(nil), set...)
+	sort.SliceStable(out, func(a, b int) bool {
+		ga, gb := GValue(p, g.Task(out[a])), GValue(p, g.Task(out[b]))
+		if ga != gb {
+			return ga > gb
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+// Expected evaluates Eq. (2): the expected makespan of the join DAG
+// when the tasks of ckptOrder (in that execution order) are
+// checkpointed and the tasks of nckpt are not. Per Lemma 1 the
+// checkpointed tasks run first; the order of the non-checkpointed
+// tasks is irrelevant. The sink must not appear in either list.
+func Expected(g *dag.Graph, p failure.Platform, sink int, ckptOrder, nckpt []int) float64 {
+	if p.FailureFree() {
+		total := g.Weight(sink)
+		for _, i := range ckptOrder {
+			total += g.Weight(i) + g.CkptCost(i)
+		}
+		for _, i := range nckpt {
+			total += g.Weight(i)
+		}
+		return total
+	}
+	l := p.Lambda
+	factor := 1/l + p.Downtime
+
+	wNCkpt := g.Weight(sink)
+	for _, i := range nckpt {
+		wNCkpt += g.Weight(i)
+	}
+	rAll := 0.0
+	for _, i := range ckptOrder {
+		rAll += g.RecCost(i)
+	}
+	// t0: expected phase-2 time when a failure forces all recoveries.
+	t0 := factor * math.Expm1(l*(wNCkpt+rAll))
+
+	m := len(ckptOrder)
+	if m == 0 {
+		return t0
+	}
+
+	// Phase 1: each checkpointed task re-executes from scratch on
+	// failure (sources have no predecessors): E[t(w_i; c_i; 0)].
+	total := 0.0
+	for _, i := range ckptOrder {
+		total += factor * math.Expm1(l*(g.Weight(i)+g.CkptCost(i)))
+	}
+
+	// suffix[k] = Σ_{j=k+1..m} (w_σ(j) + c_σ(j)) with 1-based k.
+	suffix := make([]float64, m+2)
+	for k := m; k >= 1; k-- {
+		t := g.Task(ckptOrder[k-1])
+		suffix[k] = suffix[k+1] + t.Weight + t.CkptCost
+	}
+
+	// Phase 2: condition on the failure event E_k (last failure during
+	// the k-th checkpointed task's interval, E_1 also covering "no
+	// failure at all"); only the first k−1 recoveries are needed, and
+	// a further failure escalates to t0.
+	phase2 := 0.0
+	recPrefix := 0.0 // Σ_{j=1..k−1} r_σ(j)
+	for k := 1; k <= m; k++ {
+		// q_1 = e^{−λ Σ_{j≥2}(w+c)}; q_k = (1−e^{−λ(w_k+c_k)})·e^{−λ Σ_{j>k}(w+c)}.
+		var q float64
+		if k == 1 {
+			q = math.Exp(-l * suffix[2])
+		} else {
+			t := g.Task(ckptOrder[k-1])
+			q = -math.Expm1(-l*(t.Weight+t.CkptCost)) * math.Exp(-l*suffix[k+1])
+		}
+		bk := wNCkpt + recPrefix
+		tk := -math.Expm1(-l*bk) * (1/l + p.Downtime + t0)
+		phase2 += q * tk
+		recPrefix += g.RecCost(ckptOrder[k-1])
+	}
+	return total + phase2
+}
+
+// ExpectedZeroRecovery is the closed form of Corollary 2 (all
+// r_i = 0): task ordering is irrelevant and
+// E = (1/λ+D)(Σ_{i∈ICkpt}(e^{λ(w_i+c_i)}−1) + e^{λ(W_NCkpt+w_sink)}−1).
+func ExpectedZeroRecovery(g *dag.Graph, p failure.Platform, sink int, ckpt, nckpt []int) float64 {
+	l := p.Lambda
+	if l == 0 {
+		return Expected(g, p, sink, ckpt, nckpt)
+	}
+	factor := 1/l + p.Downtime
+	sum := 0.0
+	for _, i := range ckpt {
+		sum += math.Expm1(l * (g.Weight(i) + g.CkptCost(i)))
+	}
+	wn := g.Weight(sink)
+	for _, i := range nckpt {
+		wn += g.Weight(i)
+	}
+	return factor * (sum + math.Expm1(l*wn))
+}
+
+// BuildSchedule assembles the core.Schedule realizing the split:
+// checkpointed tasks in the given order, then the non-checkpointed
+// tasks, then the sink.
+func BuildSchedule(g *dag.Graph, sink int, ckptOrder, nckpt []int) (*core.Schedule, error) {
+	order := make([]int, 0, g.N())
+	order = append(order, ckptOrder...)
+	order = append(order, nckpt...)
+	order = append(order, sink)
+	mask := make([]bool, g.N())
+	for _, i := range ckptOrder {
+		mask[i] = true
+	}
+	return core.NewSchedule(g, order, mask)
+}
+
+// BestForSplit returns the optimal ordering (by Lemma 2) and expected
+// makespan for a fixed checkpoint set.
+func BestForSplit(g *dag.Graph, p failure.Platform, sink int, ckptSet, nckpt []int) (order []int, expected float64) {
+	order = OrderCkpt(g, p, ckptSet)
+	return order, Expected(g, p, sink, order, nckpt)
+}
+
+// SolveUniform implements Corollary 1: when every source has the same
+// checkpoint cost c and recovery cost r, sort the sources by
+// decreasing weight and try checkpointing the k largest for
+// k = 0..n, returning the best schedule. It errors if g is not a
+// join or the costs are not uniform across sources.
+func SolveUniform(g *dag.Graph, p failure.Platform) (*core.Schedule, float64, error) {
+	sink, sources, ok := IsJoin(g)
+	if !ok {
+		return nil, 0, fmt.Errorf("join: graph %v is not a join DAG", g)
+	}
+	c0, r0 := g.CkptCost(sources[0]), g.RecCost(sources[0])
+	for _, i := range sources[1:] {
+		if g.CkptCost(i) != c0 || g.RecCost(i) != r0 {
+			return nil, 0, fmt.Errorf("join: SolveUniform requires uniform checkpoint/recovery costs")
+		}
+	}
+	byW := append([]int(nil), sources...)
+	sort.SliceStable(byW, func(a, b int) bool {
+		wa, wb := g.Weight(byW[a]), g.Weight(byW[b])
+		if wa != wb {
+			return wa > wb
+		}
+		return byW[a] < byW[b]
+	})
+	bestVal := math.Inf(1)
+	var bestOrder, bestN []int
+	for k := 0; k <= len(byW); k++ {
+		ckptSet := byW[:k]
+		nckpt := byW[k:]
+		order, v := BestForSplit(g, p, sink, ckptSet, nckpt)
+		if v < bestVal {
+			bestVal = v
+			bestOrder = order
+			bestN = append([]int(nil), nckpt...)
+		}
+	}
+	s, err := BuildSchedule(g, sink, bestOrder, bestN)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, bestVal, nil
+}
+
+// SolveExhaustive tries every subset of sources as the checkpointed
+// set (each ordered optimally by Lemma 2) and returns the best
+// schedule. Exponential: restricted to ≤ maxN sources.
+func SolveExhaustive(g *dag.Graph, p failure.Platform, maxN int) (*core.Schedule, float64, error) {
+	sink, sources, ok := IsJoin(g)
+	if !ok {
+		return nil, 0, fmt.Errorf("join: graph %v is not a join DAG", g)
+	}
+	n := len(sources)
+	if n > maxN {
+		return nil, 0, fmt.Errorf("join: %d sources exceeds exhaustive limit %d", n, maxN)
+	}
+	bestVal := math.Inf(1)
+	var bestOrder, bestN []int
+	for mask := 0; mask < 1<<n; mask++ {
+		var ck, nc []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				ck = append(ck, sources[i])
+			} else {
+				nc = append(nc, sources[i])
+			}
+		}
+		order, v := BestForSplit(g, p, sink, ck, nc)
+		if v < bestVal {
+			bestVal = v
+			bestOrder = order
+			bestN = append([]int(nil), nc...)
+		}
+	}
+	s, err := BuildSchedule(g, sink, bestOrder, bestN)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, bestVal, nil
+}

@@ -1,0 +1,255 @@
+package join
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bruteforce"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+var plat = failure.Platform{Lambda: 0.01, Downtime: 1}
+
+func TestIsJoin(t *testing.T) {
+	g := dag.Join([]float64{1, 2, 3, 9}, nil)
+	sink, sources, ok := IsJoin(g)
+	if !ok || sink != 3 || len(sources) != 3 {
+		t.Fatalf("IsJoin = (%d, %v, %v)", sink, sources, ok)
+	}
+	if _, _, ok := IsJoin(dag.Fork([]float64{1, 2, 3}, nil)); ok {
+		t.Fatal("fork recognized as join")
+	}
+	if _, _, ok := IsJoin(dag.Chain([]float64{1, 2, 3}, nil)); ok {
+		t.Fatal("3-chain recognized as join")
+	}
+}
+
+func randomJoin(r *rng.Source, n int) *dag.Graph {
+	ws := make([]float64, n+1)
+	for i := range ws {
+		ws[i] = r.Uniform(1, 80)
+	}
+	return dag.Join(ws, dag.UniformCosts(0.1))
+}
+
+// Eq. (2) must agree with the general Theorem 3 evaluator on every
+// split and every ordering of the checkpointed tasks.
+func TestExpectedMatchesCoreEval(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(5)
+		g := randomJoin(r, n)
+		sink, sources, _ := IsJoin(g)
+		// Random split and random order of the checkpointed part.
+		var ck, nc []int
+		for _, s := range sources {
+			if r.Float64() < 0.5 {
+				ck = append(ck, s)
+			} else {
+				nc = append(nc, s)
+			}
+		}
+		r.Shuffle(len(ck), func(i, j int) { ck[i], ck[j] = ck[j], ck[i] })
+		s, err := BuildSchedule(g, sink, ck, nc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Expected(g, plat, sink, ck, nc)
+		want := core.Eval(s, plat)
+		if stats.RelDiff(got, want) > 1e-9 {
+			t.Fatalf("trial %d (|ck|=%d): Eq.(2) %v vs evaluator %v",
+				trial, len(ck), got, want)
+		}
+	}
+}
+
+func TestExpectedFailureFree(t *testing.T) {
+	g := dag.Join([]float64{2, 3, 10}, dag.UniformCosts(0.5))
+	sink, sources, _ := IsJoin(g)
+	got := Expected(g, failure.Platform{}, sink, sources[:1], sources[1:])
+	// w0 + c0 + w1 + wsink = 2 + 1 + 3 + 10.
+	if got != 16 {
+		t.Fatalf("failure-free join = %v, want 16", got)
+	}
+}
+
+// Lemma 2: ordering checkpointed tasks by non-increasing g is optimal
+// among all permutations.
+func TestGOrderingIsOptimal(t *testing.T) {
+	r := rng.New(23)
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + r.Intn(3) // 3..5 checkpointed tasks → ≤120 permutations
+		g := randomJoin(r, n+1)
+		sink, sources, _ := IsJoin(g)
+		ck := sources[:n]
+		nc := sources[n:]
+		best := OrderCkpt(g, plat, ck)
+		bestVal := Expected(g, plat, sink, best, nc)
+		perm := append([]int(nil), ck...)
+		var rec func(k int)
+		ok := true
+		rec = func(k int) {
+			if k == len(perm) {
+				if v := Expected(g, plat, sink, perm, nc); v < bestVal-1e-9*bestVal {
+					ok = false
+				}
+				return
+			}
+			for i := k; i < len(perm); i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				rec(k + 1)
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		rec(0)
+		if !ok {
+			t.Fatalf("trial %d: g-ordering beaten by another permutation", trial)
+		}
+	}
+}
+
+// Corollary 2: with r = 0 the ordering is irrelevant and the simple
+// closed form holds.
+func TestZeroRecoveryClosedForm(t *testing.T) {
+	r := rng.New(31)
+	ws := []float64{10, 25, 5, 40, 12}
+	g := dag.Join(ws, func(i int, w float64) (float64, float64) { return 0.2 * w, 0 })
+	sink, sources, _ := IsJoin(g)
+	for trial := 0; trial < 10; trial++ {
+		var ck, nc []int
+		for _, s := range sources {
+			if r.Float64() < 0.5 {
+				ck = append(ck, s)
+			} else {
+				nc = append(nc, s)
+			}
+		}
+		want := ExpectedZeroRecovery(g, plat, sink, ck, nc)
+		// Any order of ck must give the same value.
+		got1 := Expected(g, plat, sink, ck, nc)
+		rev := make([]int, len(ck))
+		for i, v := range ck {
+			rev[len(ck)-1-i] = v
+		}
+		got2 := Expected(g, plat, sink, rev, nc)
+		if stats.RelDiff(got1, want) > 1e-9 || stats.RelDiff(got2, want) > 1e-9 {
+			t.Fatalf("zero-recovery: %v / %v vs closed form %v", got1, got2, want)
+		}
+	}
+}
+
+// Corollary 1: the uniform-cost polynomial algorithm matches the
+// exponential exhaustive search.
+func TestSolveUniformMatchesExhaustive(t *testing.T) {
+	r := rng.New(41)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(6)
+		ws := make([]float64, n+1)
+		for i := range ws {
+			ws[i] = r.Uniform(1, 100)
+		}
+		g := dag.Join(ws, dag.ConstantCosts(r.Uniform(0.5, 10)))
+		_, vUni, err := SolveUniform(g, plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, vExh, err := SolveExhaustive(g, plat, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.RelDiff(vUni, vExh) > 1e-9 {
+			t.Fatalf("trial %d: uniform %v vs exhaustive %v", trial, vUni, vExh)
+		}
+	}
+}
+
+func TestSolveUniformRejectsNonUniform(t *testing.T) {
+	g := dag.Join([]float64{1, 2, 3}, dag.UniformCosts(0.1)) // c ∝ w: not uniform
+	if _, _, err := SolveUniform(g, plat); err == nil {
+		t.Fatal("non-uniform costs accepted")
+	}
+	// A 2-task chain is a degenerate (single-source) join and is
+	// accepted; a 3-task chain is not a join.
+	if _, _, err := SolveUniform(dag.Chain([]float64{1, 2}, nil), plat); err != nil {
+		t.Fatalf("degenerate single-source join rejected: %v", err)
+	}
+	if _, _, err := SolveUniform(dag.Chain([]float64{1, 2, 3}, nil), plat); err == nil {
+		t.Fatal("non-join accepted")
+	}
+}
+
+// The exhaustive join solver must match the general brute-force
+// search over all linearizations and masks (checkpointing the sink is
+// never useful, and Lemma 1's structure is optimal).
+func TestExhaustiveMatchesGlobalBruteForce(t *testing.T) {
+	r := rng.New(53)
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + r.Intn(2) // 2..3 sources keeps global brute force fast
+		g := randomJoin(r, n)
+		s, v, err := SolveExhaustive(g, plat, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := core.Eval(s, plat); stats.RelDiff(got, v) > 1e-9 {
+			t.Fatalf("trial %d: solver value %v but evaluator %v", trial, v, got)
+		}
+		bf, err := bruteforce.Solve(g, plat, 1<<20)
+		if err != nil || !bf.Exhausted {
+			t.Fatalf("brute force failed: %v", err)
+		}
+		if v > bf.Expected*(1+1e-9) {
+			t.Fatalf("trial %d: join solver %v worse than brute force %v", trial, v, bf.Expected)
+		}
+	}
+}
+
+// Property: Eq. (2) equals the evaluator for arbitrary random splits.
+func TestExpectedMatchesEvalProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 2 + int(nRaw%5)
+		r := rng.New(seed)
+		g := randomJoin(r, n)
+		sink, sources, ok := IsJoin(g)
+		if !ok {
+			return false
+		}
+		var ck, nc []int
+		for _, s := range sources {
+			if r.Float64() < 0.5 {
+				ck = append(ck, s)
+			} else {
+				nc = append(nc, s)
+			}
+		}
+		s, err := BuildSchedule(g, sink, ck, nc)
+		if err != nil {
+			return false
+		}
+		return stats.RelDiff(Expected(g, plat, sink, ck, nc), core.Eval(s, plat)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGValueMonotoneInWeight(t *testing.T) {
+	// For fixed c and r, g decreases as w grows... actually g(i)
+	// increases with w? dg/dw = −λe^{−λ(w+c+r)} + λe^{−λ(w+c)} ≥ 0,
+	// so larger-w tasks come first in the non-increasing-g order only
+	// when r > 0 pushes them up. Verify the derivative's sign.
+	base := dag.Task{Weight: 10, CkptCost: 2, RecCost: 3}
+	bigger := dag.Task{Weight: 20, CkptCost: 2, RecCost: 3}
+	if GValue(plat, bigger) <= GValue(plat, base) {
+		t.Fatal("g should increase with w for fixed positive r")
+	}
+	// With r = 0, g(i) = e^{−λ(w+c)} + 1 − e^{−λ(w+c)} = 1 for all i.
+	t0 := dag.Task{Weight: 10, CkptCost: 2, RecCost: 0}
+	t1 := dag.Task{Weight: 99, CkptCost: 7, RecCost: 0}
+	if stats.RelDiff(GValue(plat, t0), 1) > 1e-12 || stats.RelDiff(GValue(plat, t1), 1) > 1e-12 {
+		t.Fatalf("g with r=0 should be 1, got %v and %v", GValue(plat, t0), GValue(plat, t1))
+	}
+}

@@ -1,0 +1,137 @@
+// Package npc materializes the NP-completeness reduction of
+// Theorem 2: every SUBSET-SUM instance (w_1..w_n, X) maps to a join
+// DAG whose optimal checkpoint selection decides whether a subset
+// sums to exactly X.
+//
+// The reduction builds a join with n sources and a zero-weight sink,
+// with, for every source i (D = 0, r_i = 0):
+//
+//	w_i = w_i
+//	c_i = (X − w_i) + (1/λ)·ln(λ·w_i + e^{−λX})
+//
+// under the requirement λ ≥ 1/min_i w_i (which keeps every c_i > 0).
+// By Corollary 2, a split with non-checkpointed weight W then has
+// (scaled by λ, since D = 0 makes the global factor 1/λ):
+//
+//	λ·E[T] = λ·e^{λX}·(S − W) + e^{λW} − 1,      S = Σ w_i,
+//
+// which is strictly convex in W with its minimum exactly at W = X,
+// of value t_min = λ·e^{λX}(S−X) + e^{λX} − 1. Hence E[T] ≤ t_min/λ
+// is achievable iff the SUBSET-SUM instance is a yes-instance.
+package npc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dag"
+	"repro/internal/failure"
+)
+
+// Instance bundles a reduction output.
+type Instance struct {
+	Graph   *dag.Graph
+	Sink    int
+	Sources []int
+	Lambda  float64
+	X       float64 // SUBSET-SUM target
+	S       float64 // Σ w_i
+}
+
+// Build constructs the join-DAG instance for the SUBSET-SUM input
+// (weights, X) with the given λ. It errors if the weights are not
+// strictly positive, λ < 1/min(w), or some weight exceeds X. The
+// last condition is the standard SUBSET-SUM preprocessing (an item
+// heavier than the target can never be part of a solution and is
+// discarded WLOG); together with λ ≥ 1/min(w) it guarantees every
+// c_i > 0 as the paper's proof requires.
+func Build(weights []float64, x, lambda float64) (*Instance, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("npc: empty SUBSET-SUM instance")
+	}
+	minW := math.Inf(1)
+	s := 0.0
+	for _, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("npc: weights must be strictly positive, got %v", w)
+		}
+		if w > x {
+			return nil, fmt.Errorf("npc: weight %v exceeds target X=%v; discard such items first (they cannot join a solution)", w, x)
+		}
+		if w < minW {
+			minW = w
+		}
+		s += w
+	}
+	if x <= 0 || x >= s {
+		return nil, fmt.Errorf("npc: target X=%v must lie strictly between 0 and S=%v", x, s)
+	}
+	if lambda < 1/minW {
+		return nil, fmt.Errorf("npc: need λ ≥ 1/min(w) = %v, got %v", 1/minW, lambda)
+	}
+	g := dag.New()
+	sources := make([]int, len(weights))
+	for i, w := range weights {
+		c := (x - w) + math.Log(lambda*w+math.Exp(-lambda*x))/lambda
+		if c <= 0 {
+			return nil, fmt.Errorf("npc: reduction produced non-positive c_%d = %v", i, c)
+		}
+		sources[i] = g.AddTask(dag.Task{
+			Name:     fmt.Sprintf("item%d", i),
+			Weight:   w,
+			CkptCost: c,
+			RecCost:  0,
+		})
+	}
+	sink := g.AddTask(dag.Task{Name: "sink", Weight: 0})
+	for _, src := range sources {
+		g.MustAddEdge(src, sink)
+	}
+	return &Instance{Graph: g, Sink: sink, Sources: sources, Lambda: lambda, X: x, S: s}, nil
+}
+
+// Platform returns the failure model of the reduction (rate λ,
+// downtime 0).
+func (in *Instance) Platform() failure.Platform {
+	return failure.Platform{Lambda: in.Lambda}
+}
+
+// ScaledExpected returns λ·E[T] for the split whose non-checkpointed
+// tasks sum to W: λ·e^{λX}(S−W) + e^{λW} − 1.
+func (in *Instance) ScaledExpected(w float64) float64 {
+	l := in.Lambda
+	return l*math.Exp(l*in.X)*(in.S-w) + math.Expm1(l*w)
+}
+
+// TMin returns the reduction's decision threshold
+// t_min = λ·e^{λX}(S−X) + e^{λX} − 1 (= λ·E[T] at W = X).
+func (in *Instance) TMin() float64 { return in.ScaledExpected(in.X) }
+
+// Decide answers the SUBSET-SUM question by exhaustively checking
+// every checkpoint split of the reduction instance (exponential, for
+// verification on small inputs only): it returns true iff some split
+// achieves λ·E[T] ≤ t_min, which by Theorem 2 happens iff a subset
+// of the weights sums to exactly X.
+func (in *Instance) Decide() bool {
+	n := len(in.Sources)
+	if n > 24 {
+		panic("npc: Decide is exponential; instance too large")
+	}
+	// λ·E[T] is strictly convex in W with its unique minimum t_min at
+	// W = X, so the threshold test alone decides the instance; the
+	// relative epsilon absorbs floating-point noise (for integer
+	// weights the next-best W differs from X by ≥ 1, far outside it).
+	const eps = 1e-9
+	for mask := 0; mask < 1<<n; mask++ {
+		w := 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 { // non-checkpointed
+				w += in.Graph.Weight(in.Sources[i])
+			}
+		}
+		if in.ScaledExpected(w) <= in.TMin()*(1+eps) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,193 @@
+package npc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/join"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func mustBuild(t *testing.T, ws []float64, x, lambda float64) *Instance {
+	t.Helper()
+	in, err := Build(ws, x, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 1, 1); err == nil {
+		t.Fatal("empty instance accepted")
+	}
+	if _, err := Build([]float64{1, -2}, 1, 1); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := Build([]float64{1, 2}, 5, 1); err == nil {
+		t.Fatal("X ≥ S accepted")
+	}
+	if _, err := Build([]float64{2, 3}, 3, 0.1); err == nil {
+		t.Fatal("λ below 1/min(w) accepted")
+	}
+	in := mustBuild(t, []float64{2, 3, 4}, 5, 1)
+	if in.S != 9 || in.X != 5 {
+		t.Fatalf("instance sums wrong: S=%v X=%v", in.S, in.X)
+	}
+	// All checkpoint costs strictly positive, recoveries zero.
+	for _, src := range in.Sources {
+		if in.Graph.CkptCost(src) <= 0 {
+			t.Fatalf("c_%d = %v not positive", src, in.Graph.CkptCost(src))
+		}
+		if in.Graph.RecCost(src) != 0 {
+			t.Fatal("reduction requires r = 0")
+		}
+	}
+	if in.Graph.Weight(in.Sink) != 0 {
+		t.Fatal("sink must have zero weight")
+	}
+}
+
+// The key identity of the reduction: e^{λ(w_i+c_i)} = λ·e^{λX}·w_i + 1.
+func TestReductionIdentity(t *testing.T) {
+	in := mustBuild(t, []float64{2, 5, 7, 3}, 8, 1)
+	l := in.Lambda
+	for _, src := range in.Sources {
+		w := in.Graph.Weight(src)
+		c := in.Graph.CkptCost(src)
+		lhs := math.Exp(l * (w + c))
+		rhs := l*math.Exp(l*in.X)*w + 1
+		if stats.RelDiff(lhs, rhs) > 1e-9 {
+			t.Fatalf("identity broken for w=%v: %v vs %v", w, lhs, rhs)
+		}
+	}
+}
+
+// ScaledExpected must equal λ × the Corollary 2 closed form of the
+// actual join instance (D = 0).
+func TestScaledExpectedMatchesJoinFormula(t *testing.T) {
+	in := mustBuild(t, []float64{2, 4, 6}, 6, 1)
+	p := in.Platform()
+	n := len(in.Sources)
+	for mask := 0; mask < 1<<n; mask++ {
+		var ck, nc []int
+		w := 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				nc = append(nc, in.Sources[i])
+				w += in.Graph.Weight(in.Sources[i])
+			} else {
+				ck = append(ck, in.Sources[i])
+			}
+		}
+		got := in.ScaledExpected(w)
+		want := in.Lambda * join.ExpectedZeroRecovery(in.Graph, p, in.Sink, ck, nc)
+		if stats.RelDiff(got, want) > 1e-9 {
+			t.Fatalf("mask %b: scaled %v vs λ·join %v", mask, got, want)
+		}
+	}
+}
+
+// λE[T] is convex with minimum exactly at W = X.
+func TestScaledExpectedMinimizedAtX(t *testing.T) {
+	in := mustBuild(t, []float64{3, 5, 9, 4}, 9, 1)
+	tmin := in.TMin()
+	for _, w := range []float64{0, 1, 5, 8, 8.9, 9.1, 12, 20, in.S} {
+		v := in.ScaledExpected(w)
+		if w == in.X {
+			continue
+		}
+		if v <= tmin {
+			t.Fatalf("ScaledExpected(%v) = %v ≤ t_min = %v", w, v, tmin)
+		}
+	}
+	if stats.RelDiff(in.ScaledExpected(in.X), tmin) > 1e-12 {
+		t.Fatal("t_min not achieved at X")
+	}
+}
+
+// End-to-end: the reduction decides SUBSET-SUM correctly.
+func TestDecideSubsetSum(t *testing.T) {
+	cases := []struct {
+		ws   []float64
+		x    float64
+		want bool
+	}{
+		{[]float64{3, 5, 9}, 9, true},      // {9} or... 9 itself
+		{[]float64{3, 5, 9}, 14, true},     // 5+9
+		{[]float64{3, 5, 9}, 13, false},    // no subset sums to 13
+		{[]float64{2, 4, 6, 8}, 10, true},  // 2+8 or 4+6
+		{[]float64{2, 4, 6, 8}, 11, false}, // parity
+		{[]float64{1, 2, 5}, 6, true},      // 1+5
+		{[]float64{7, 8, 9}, 10, false},
+		{[]float64{5, 5, 5, 5}, 15, true},
+		{[]float64{7, 8, 9}, 16, true},  // 7+9
+		{[]float64{7, 8, 9}, 18, false}, // 7+8=15, 7+9=16, 8+9=17
+	}
+	for _, c := range cases {
+		in := mustBuild(t, c.ws, c.x, 1.5)
+		if got := in.Decide(); got != c.want {
+			t.Fatalf("Decide(%v, %v) = %v, want %v", c.ws, c.x, got, c.want)
+		}
+	}
+}
+
+// Property: for random small instances, Decide agrees with a direct
+// subset-sum solver.
+func TestDecideMatchesDirectSolver(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(5)
+		ws := make([]float64, n)
+		total, maxW := 0, 0
+		for i := range ws {
+			v := 1 + r.Intn(9)
+			ws[i] = float64(v)
+			total += v
+			if v > maxW {
+				maxW = v
+			}
+		}
+		// Target must dominate every item (Build's WLOG) and stay
+		// strictly below the total.
+		x := maxW + r.Intn(total-maxW)
+		if x >= total {
+			x = total - 1
+		}
+		in, err := Build(ws, float64(x), 2)
+		if err != nil {
+			return false
+		}
+		// Direct DP subset-sum.
+		reach := make([]bool, total+1)
+		reach[0] = true
+		for _, w := range ws {
+			wi := int(w)
+			for s := total; s >= wi; s-- {
+				if reach[s-wi] {
+					reach[s] = true
+				}
+			}
+		}
+		return in.Decide() == reach[x]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecidePanicsOnHugeInstances(t *testing.T) {
+	ws := make([]float64, 30)
+	for i := range ws {
+		ws[i] = 1
+	}
+	in := mustBuild(t, ws, 15, 1.1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Decide on 30 items did not panic")
+		}
+	}()
+	in.Decide()
+}

@@ -1,0 +1,82 @@
+package pwg
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/rng"
+)
+
+// GenCyberShake builds a CyberShake-shaped workflow with exactly n
+// tasks.
+//
+// CyberShake characterizes earthquake hazard at a set of sites.
+// Structure per the Bharathi et al. characterization:
+//
+//	ExtractSGT           × a      (sources, one per rupture variation set)
+//	SeismogramSynthesis  × Σm_i   (large fan-out under each ExtractSGT;
+//	                               the dominant task type)
+//	PeakValCalcOkaya     × Σm_i   (one per synthesis)
+//	ZipSeismograms       × 1      (joins every synthesis)
+//	ZipPSA               × 1      (joins every peak-value task)
+//
+// Totals: n = a + 2M + 2 with M = Σ m_i; the per-site fan-outs m_i
+// absorb the remainder. SeismogramSynthesis dominates the runtime
+// profile; the graph is normalized to the paper's 25 s mean.
+func GenCyberShake(n int, seed uint64) (*dag.Graph, error) {
+	const minN = 7 // a=1, M=2, zips
+	if n < minN {
+		return nil, fmt.Errorf("pwg: CyberShake needs n ≥ %d, got %d", minN, n)
+	}
+	// Target a ≈ n/20 sites; keep parity so M is integral.
+	a := n / 20
+	if a < 1 {
+		a = 1
+	}
+	if (n-a-2)%2 != 0 {
+		if a > 1 {
+			a--
+		} else {
+			a++
+		}
+	}
+	m := (n - a - 2) / 2
+	for m < a { // each site needs at least one synthesis
+		a -= 2 // preserves parity
+		if a < 1 {
+			return nil, fmt.Errorf("pwg: CyberShake cannot fit n = %d", n)
+		}
+		m = (n - a - 2) / 2
+	}
+	r := rng.New(seed)
+	g := dag.New()
+	extract := make([]int, a)
+	for i := range extract {
+		extract[i] = g.AddTask(dag.Task{Name: fmt.Sprintf("ExtractSGT_%d", i), Weight: weight(r, 40)})
+	}
+	zipSeis := -1
+	zipPSA := -1
+	// Distribute the M synthesis tasks round-robin over the sites.
+	synth := make([]int, 0, m)
+	peaks := make([]int, 0, m)
+	for j := 0; j < m; j++ {
+		site := j % a
+		s := g.AddTask(dag.Task{Name: fmt.Sprintf("SeismogramSynthesis_%d", j), Weight: weight(r, 30)})
+		g.MustAddEdge(extract[site], s)
+		p := g.AddTask(dag.Task{Name: fmt.Sprintf("PeakValCalcOkaya_%d", j), Weight: weight(r, 1.5)})
+		g.MustAddEdge(s, p)
+		synth = append(synth, s)
+		peaks = append(peaks, p)
+	}
+	zipSeis = g.AddTask(dag.Task{Name: "ZipSeismograms", Weight: weight(r, 10)})
+	for _, s := range synth {
+		g.MustAddEdge(s, zipSeis)
+	}
+	zipPSA = g.AddTask(dag.Task{Name: "ZipPSA", Weight: weight(r, 8)})
+	for _, p := range peaks {
+		g.MustAddEdge(p, zipPSA)
+	}
+	_ = zipSeis
+	_ = zipPSA
+	return g, nil
+}

@@ -1,0 +1,90 @@
+package pwg
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/rng"
+)
+
+// GenGenome builds an Epigenomics-shaped ("Genome") workflow with
+// exactly n tasks.
+//
+// The USC Epigenome Center pipeline maps short DNA sequence reads.
+// Structure per the Bharathi et al. characterization: L independent
+// lanes of sequencer output are each split into chunks processed by
+// identical 4-stage chains, then merged:
+//
+//	fastqSplit   × L        (sources; one per lane)
+//	filterContams × Σm_i    ┐
+//	sol2sanger    × Σm_i    │ per-chunk 4-stage chains
+//	fast2bfq      × Σm_i    │ (map dominates the runtime)
+//	map           × Σm_i    ┘
+//	mapMerge      × L       (joins each lane's map tasks)
+//	maqIndex      × 1       (joins every mapMerge)
+//	pileup        × 1       (final chain)
+//
+// Totals: n = L(4·m̄ + 2) + 2; chunk counts m_i absorb the remainder,
+// and up to 3 leftover tasks extend the last chunk's chain. The
+// graph is normalized to the paper's ≥ 1000 s mean task weight.
+func GenGenome(n int, seed uint64) (*dag.Graph, error) {
+	const minN = 10 // L=1, m=1: 1·6+2 = 8; slack for remainder handling
+	if n < minN {
+		return nil, fmt.Errorf("pwg: Genome needs n ≥ %d, got %d", minN, n)
+	}
+	L := n / 30
+	if L < 2 {
+		L = 2
+	}
+	m := (n - 2 - 2*L) / (4 * L)
+	for m < 1 {
+		L--
+		if L < 1 {
+			return nil, fmt.Errorf("pwg: Genome cannot fit n = %d", n)
+		}
+		m = (n - 2 - 2*L) / (4 * L)
+	}
+	rem := n - (L*(4*m+2) + 2) // 0 .. 4L+... distribute as extra chunks then chain padding
+	extraChunks := rem / 4
+	chainPad := rem % 4
+
+	r := rng.New(seed)
+	g := dag.New()
+	merges := make([]int, L)
+	var lastMap int = -1
+	for lane := 0; lane < L; lane++ {
+		split := g.AddTask(dag.Task{Name: fmt.Sprintf("fastqSplit_%d", lane), Weight: weight(r, 35)})
+		merges[lane] = g.AddTask(dag.Task{Name: fmt.Sprintf("mapMerge_%d", lane), Weight: weight(r, 60)})
+		chunks := m
+		if lane < extraChunks {
+			chunks++
+		}
+		for ch := 0; ch < chunks; ch++ {
+			filter := g.AddTask(dag.Task{Name: fmt.Sprintf("filterContams_%d_%d", lane, ch), Weight: weight(r, 40)})
+			g.MustAddEdge(split, filter)
+			sanger := g.AddTask(dag.Task{Name: fmt.Sprintf("sol2sanger_%d_%d", lane, ch), Weight: weight(r, 25)})
+			g.MustAddEdge(filter, sanger)
+			bfq := g.AddTask(dag.Task{Name: fmt.Sprintf("fast2bfq_%d_%d", lane, ch), Weight: weight(r, 20)})
+			g.MustAddEdge(sanger, bfq)
+			mp := g.AddTask(dag.Task{Name: fmt.Sprintf("map_%d_%d", lane, ch), Weight: weight(r, 300)})
+			g.MustAddEdge(bfq, mp)
+			g.MustAddEdge(mp, merges[lane])
+			lastMap = mp
+		}
+	}
+	// Chain padding: extend the last chunk's chain with extra map
+	// passes (absorbs n mod 4 without disturbing the lane structure).
+	for i := 0; i < chainPad; i++ {
+		mp := g.AddTask(dag.Task{Name: fmt.Sprintf("mapExtra_%d", i), Weight: weight(r, 280)})
+		g.MustAddEdge(lastMap, mp)
+		g.MustAddEdge(mp, merges[L-1])
+		lastMap = mp
+	}
+	index := g.AddTask(dag.Task{Name: "maqIndex", Weight: weight(r, 45)})
+	for _, mg := range merges {
+		g.MustAddEdge(mg, index)
+	}
+	pileup := g.AddTask(dag.Task{Name: "pileup", Weight: weight(r, 55)})
+	g.MustAddEdge(index, pileup)
+	return g, nil
+}

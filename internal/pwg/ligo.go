@@ -1,0 +1,87 @@
+package pwg
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/rng"
+)
+
+// GenLigo builds a LIGO Inspiral-analysis-shaped workflow with
+// exactly n tasks.
+//
+// The Inspiral workflow detects gravitational waves from compact
+// binary coalescence. Structure per the Bharathi et al.
+// characterization: the detector data is cut into a blocks; blocks
+// are analysed independently and aggregated in groups of ~q:
+//
+//	TmpltBank × a   (sources; one per block)
+//	Inspiral  × a   (matched filtering; the heavy task; 1–1 with banks)
+//	Thinca    × G   (coincidence analysis; joins each group's Inspirals)
+//	TrigBank  × G   (1–1 after each Thinca)
+//	Inspiral2 × a'  (second matched-filter pass; fan-out of TrigBank)
+//	Thinca2   × G   (joins each group's Inspiral2 tasks)
+//
+// Totals: n = 2a + a' + 3G, with the second-pass fan-out a' (= a plus
+// the division remainder) absorbing the leftover so n is hit exactly.
+// Inspiral dominates the runtime; the graph is normalized to the
+// paper's 220 s mean.
+func GenLigo(n int, seed uint64) (*dag.Graph, error) {
+	const minN = 9 // G=1, a=2: 2·2+2+3 = 9
+	if n < minN {
+		return nil, fmt.Errorf("pwg: Ligo needs n ≥ %d, got %d", minN, n)
+	}
+	const q = 5 // group size
+	g := dag.New()
+	r := rng.New(seed)
+	// n = 3a + 3G + rem with a ≈ q·G: n ≈ 3G(q+1).
+	G := n / (3 * (q + 1))
+	if G < 1 {
+		G = 1
+	}
+	a := (n - 3*G) / 3
+	for a < G { // every group needs at least one block
+		G--
+		if G < 1 {
+			return nil, fmt.Errorf("pwg: Ligo cannot fit n = %d", n)
+		}
+		a = (n - 3*G) / 3
+	}
+	rem := n - 3*a - 3*G // 0..2 extra second-pass tasks
+
+	// Group sizes: a blocks over G groups, round-robin.
+	groupOf := func(block int) int { return block % G }
+
+	banks := make([]int, a)
+	inspirals := make([]int, a)
+	for i := 0; i < a; i++ {
+		banks[i] = g.AddTask(dag.Task{Name: fmt.Sprintf("TmpltBank_%d", i), Weight: weight(r, 18)})
+		inspirals[i] = g.AddTask(dag.Task{Name: fmt.Sprintf("Inspiral_%d", i), Weight: weight(r, 100)})
+		g.MustAddEdge(banks[i], inspirals[i])
+	}
+	thincas := make([]int, G)
+	trigBanks := make([]int, G)
+	for gi := 0; gi < G; gi++ {
+		thincas[gi] = g.AddTask(dag.Task{Name: fmt.Sprintf("Thinca_%d", gi), Weight: weight(r, 2)})
+		trigBanks[gi] = g.AddTask(dag.Task{Name: fmt.Sprintf("TrigBank_%d", gi), Weight: weight(r, 2)})
+		g.MustAddEdge(thincas[gi], trigBanks[gi])
+	}
+	for i := 0; i < a; i++ {
+		g.MustAddEdge(inspirals[i], thincas[groupOf(i)])
+	}
+	thinca2 := make([]int, G)
+	for gi := 0; gi < G; gi++ {
+		thinca2[gi] = g.AddTask(dag.Task{Name: fmt.Sprintf("Thinca2_%d", gi), Weight: weight(r, 2)})
+	}
+	// Second-pass Inspirals: one per block, plus rem extras on group 0.
+	for i := 0; i < a+rem; i++ {
+		gi := 0
+		if i < a {
+			gi = groupOf(i)
+		}
+		insp2 := g.AddTask(dag.Task{Name: fmt.Sprintf("Inspiral2_%d", i), Weight: weight(r, 90)})
+		g.MustAddEdge(trigBanks[gi], insp2)
+		g.MustAddEdge(insp2, thinca2[gi])
+	}
+	return g, nil
+}

@@ -1,0 +1,92 @@
+package pwg
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/rng"
+)
+
+// GenMontage builds a Montage-shaped workflow with exactly n tasks.
+//
+// Montage stitches sky images into a mosaic. Structure per the
+// Bharathi et al. characterization:
+//
+//	mProjectPP × a   (sources: reproject each input image)
+//	mDiffFit   × d   (fit plane differences of overlapping pairs;
+//	                  each consumes two mProjectPP outputs; d ≈ 3a)
+//	mConcatFit × 1   (joins every mDiffFit)
+//	mBgModel   × 1   (chain after mConcatFit)
+//	mBackground × a  (one per image; needs mBgModel + its mProjectPP)
+//	mImgtbl    × 1   (joins every mBackground)
+//	mAdd → mShrink → mJPEG (final chain)
+//
+// Totals: n = 2a + d + 6 (six serial singleton tasks) with d
+// absorbing the remainder. Base weights
+// follow the published per-type profile shape (a few heavy bottleneck
+// tasks — mBgModel, mAdd, mConcatFit — among many light ones), then
+// the whole graph is normalized to the paper's 10 s mean.
+func GenMontage(n int, seed uint64) (*dag.Graph, error) {
+	const minN = 13 // a = 2, d ≥ 1, plus the 6 serial tasks: 2·2+3+6 = 13
+	if n < minN {
+		return nil, fmt.Errorf("pwg: Montage needs n ≥ %d, got %d", minN, n)
+	}
+	// Aim for d ≈ 3a: n − 6 = 2a + d ≈ 5a.
+	a := (n - 6) / 5
+	if a < 2 {
+		a = 2
+	}
+	d := n - 6 - 2*a
+	for d < a-1 { // keep at least a−1 overlaps so diffs can chain the ring
+		a--
+		d = n - 6 - 2*a
+	}
+	r := rng.New(seed)
+	g := dag.New()
+
+	project := make([]int, a)
+	for i := range project {
+		project[i] = g.AddTask(dag.Task{Name: fmt.Sprintf("mProjectPP_%d", i), Weight: weight(r, 2)})
+	}
+	// Overlap pairs: a ring of adjacent images guarantees coverage,
+	// extra overlaps drawn at random.
+	diffs := make([]int, d)
+	for i := range diffs {
+		diffs[i] = g.AddTask(dag.Task{Name: fmt.Sprintf("mDiffFit_%d", i), Weight: weight(r, 0.7)})
+		var x, y int
+		if i < a-1 {
+			x, y = i, i+1
+		} else {
+			x = r.Intn(a)
+			y = r.Intn(a)
+			if y == x {
+				y = (x + 1 + r.Intn(a-1)) % a
+			}
+		}
+		g.MustAddEdge(project[x], diffs[i])
+		g.MustAddEdge(project[y], diffs[i])
+	}
+	concat := g.AddTask(dag.Task{Name: "mConcatFit", Weight: weight(r, 60)})
+	for _, dTask := range diffs {
+		g.MustAddEdge(dTask, concat)
+	}
+	bgModel := g.AddTask(dag.Task{Name: "mBgModel", Weight: weight(r, 120)})
+	g.MustAddEdge(concat, bgModel)
+	background := make([]int, a)
+	for i := range background {
+		background[i] = g.AddTask(dag.Task{Name: fmt.Sprintf("mBackground_%d", i), Weight: weight(r, 2)})
+		g.MustAddEdge(bgModel, background[i])
+		g.MustAddEdge(project[i], background[i])
+	}
+	imgtbl := g.AddTask(dag.Task{Name: "mImgtbl", Weight: weight(r, 3)})
+	for _, b := range background {
+		g.MustAddEdge(b, imgtbl)
+	}
+	add := g.AddTask(dag.Task{Name: "mAdd", Weight: weight(r, 90)})
+	g.MustAddEdge(imgtbl, add)
+	shrink := g.AddTask(dag.Task{Name: "mShrink", Weight: weight(r, 20)})
+	g.MustAddEdge(add, shrink)
+	jpeg := g.AddTask(dag.Task{Name: "mJPEG", Weight: weight(r, 0.8)})
+	g.MustAddEdge(shrink, jpeg)
+	return g, nil
+}

@@ -1,0 +1,322 @@
+package pwg
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+var allApps = []Workflow{Montage, CyberShake, Ligo, Genome, Random}
+
+func TestExactTaskCounts(t *testing.T) {
+	for _, w := range allApps {
+		for _, n := range []int{50, 63, 100, 117, 200, 350, 500, 700} {
+			g, err := Generate(w, n, 42)
+			if err != nil {
+				t.Fatalf("%v n=%d: %v", w, n, err)
+			}
+			if g.N() != n {
+				t.Fatalf("%v n=%d: generated %d tasks", w, n, g.N())
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%v n=%d: invalid graph: %v", w, n, err)
+			}
+		}
+	}
+}
+
+func TestExactTaskCountsEveryNProperty(t *testing.T) {
+	f := func(nRaw uint16, seed uint64) bool {
+		n := 20 + int(nRaw%700)
+		for _, w := range allApps {
+			g, err := Generate(w, n, seed)
+			if err != nil || g.N() != n || g.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanWeightNormalized(t *testing.T) {
+	for _, w := range allApps {
+		g, err := Generate(w, 300, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean := g.TotalWeight() / float64(g.N())
+		if stats.RelDiff(mean, w.MeanWeight()) > 1e-9 {
+			t.Fatalf("%v mean weight = %v, want %v", w, mean, w.MeanWeight())
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	for _, w := range allApps {
+		a, err := Generate(w, 150, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(w, 150, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.N() != b.N() || a.M() != b.M() {
+			t.Fatalf("%v: non-deterministic structure", w)
+		}
+		for i := 0; i < a.N(); i++ {
+			if a.Weight(i) != b.Weight(i) {
+				t.Fatalf("%v: non-deterministic weights at %d", w, i)
+			}
+		}
+		c, err := Generate(w, 150, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		for i := 0; i < a.N() && same; i++ {
+			same = a.Weight(i) == c.Weight(i)
+		}
+		if same {
+			t.Fatalf("%v: seeds 99 and 100 gave identical weights", w)
+		}
+	}
+}
+
+func TestCostsLeftZero(t *testing.T) {
+	g, err := Generate(Montage, 80, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.N(); i++ {
+		if g.CkptCost(i) != 0 || g.RecCost(i) != 0 {
+			t.Fatal("generator should leave checkpoint costs at zero")
+		}
+	}
+}
+
+func TestMontageStructure(t *testing.T) {
+	g, err := GenMontage(120, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(prefix string) int {
+		c := 0
+		for i := 0; i < g.N(); i++ {
+			if strings.HasPrefix(g.Name(i), prefix) {
+				c++
+			}
+		}
+		return c
+	}
+	a := count("mProjectPP")
+	if a < 2 {
+		t.Fatalf("only %d mProjectPP tasks", a)
+	}
+	if got := count("mBackground"); got != a {
+		t.Fatalf("mBackground count %d != mProjectPP count %d", got, a)
+	}
+	for _, unique := range []string{"mConcatFit", "mBgModel", "mImgtbl", "mAdd", "mShrink", "mJPEG"} {
+		if got := count(unique); got != 1 {
+			t.Fatalf("%s count = %d, want 1", unique, got)
+		}
+	}
+	d := count("mDiffFit")
+	if d < a-1 {
+		t.Fatalf("mDiffFit count %d below ring minimum %d", d, a-1)
+	}
+	// Every mDiffFit has exactly two predecessors (two images).
+	for i := 0; i < g.N(); i++ {
+		if strings.HasPrefix(g.Name(i), "mDiffFit") && g.InDegree(i) != 2 {
+			t.Fatalf("%s has in-degree %d", g.Name(i), g.InDegree(i))
+		}
+	}
+	// Sources are exactly the mProjectPP tasks.
+	for _, s := range g.Sources() {
+		if !strings.HasPrefix(g.Name(s), "mProjectPP") {
+			t.Fatalf("unexpected source %s", g.Name(s))
+		}
+	}
+	// The sink is mJPEG.
+	sinks := g.Sinks()
+	if len(sinks) != 1 || g.Name(sinks[0]) != "mJPEG" {
+		t.Fatalf("sinks = %v", sinks)
+	}
+}
+
+func TestCyberShakeStructure(t *testing.T) {
+	g, err := GenCyberShake(200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth, peaks, extracts := 0, 0, 0
+	for i := 0; i < g.N(); i++ {
+		name := g.Name(i)
+		switch {
+		case strings.HasPrefix(name, "SeismogramSynthesis"):
+			synth++
+			if g.InDegree(i) != 1 {
+				t.Fatalf("%s in-degree %d", name, g.InDegree(i))
+			}
+		case strings.HasPrefix(name, "PeakValCalcOkaya"):
+			peaks++
+			if g.InDegree(i) != 1 || g.OutDegree(i) != 1 {
+				t.Fatalf("%s degrees %d/%d", name, g.InDegree(i), g.OutDegree(i))
+			}
+		case strings.HasPrefix(name, "ExtractSGT"):
+			extracts++
+			if g.InDegree(i) != 0 {
+				t.Fatalf("%s should be a source", name)
+			}
+		}
+	}
+	if synth != peaks {
+		t.Fatalf("synthesis %d != peaks %d", synth, peaks)
+	}
+	if extracts+2*synth+2 != g.N() {
+		t.Fatalf("structure equation violated: a=%d M=%d n=%d", extracts, synth, g.N())
+	}
+	if len(g.Sinks()) != 2 {
+		t.Fatalf("CyberShake should end in the two Zip tasks, sinks = %v", g.Sinks())
+	}
+}
+
+func TestLigoStructure(t *testing.T) {
+	g, err := GenLigo(180, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banks, insp, thinca, trig, insp2, thinca2 := 0, 0, 0, 0, 0, 0
+	for i := 0; i < g.N(); i++ {
+		name := g.Name(i)
+		switch {
+		case strings.HasPrefix(name, "TmpltBank"):
+			banks++
+			if g.InDegree(i) != 0 || g.OutDegree(i) != 1 {
+				t.Fatalf("%s degrees wrong", name)
+			}
+		case strings.HasPrefix(name, "Inspiral2"):
+			insp2++
+		case strings.HasPrefix(name, "Inspiral"):
+			insp++
+		case strings.HasPrefix(name, "Thinca2"):
+			thinca2++
+		case strings.HasPrefix(name, "Thinca"):
+			thinca++
+		case strings.HasPrefix(name, "TrigBank"):
+			trig++
+		}
+	}
+	if banks != insp {
+		t.Fatalf("banks %d != inspirals %d", banks, insp)
+	}
+	if thinca != trig || thinca != thinca2 {
+		t.Fatalf("group counts differ: %d/%d/%d", thinca, trig, thinca2)
+	}
+	if insp2 < banks {
+		t.Fatalf("second-pass count %d below block count %d", insp2, banks)
+	}
+	// Sinks are the Thinca2 tasks.
+	for _, s := range g.Sinks() {
+		if !strings.HasPrefix(g.Name(s), "Thinca2") {
+			t.Fatalf("unexpected sink %s", g.Name(s))
+		}
+	}
+}
+
+func TestGenomeStructure(t *testing.T) {
+	g, err := GenGenome(250, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	splits, merges, maps := 0, 0, 0
+	for i := 0; i < g.N(); i++ {
+		name := g.Name(i)
+		switch {
+		case strings.HasPrefix(name, "fastqSplit"):
+			splits++
+			if g.InDegree(i) != 0 {
+				t.Fatalf("%s should be a source", name)
+			}
+		case strings.HasPrefix(name, "mapMerge"):
+			merges++
+		case strings.HasPrefix(name, "map"):
+			maps++
+		}
+	}
+	if splits != merges {
+		t.Fatalf("splits %d != merges %d", splits, merges)
+	}
+	sinks := g.Sinks()
+	if len(sinks) != 1 || g.Name(sinks[0]) != "pileup" {
+		t.Fatalf("Genome sink = %v", sinks)
+	}
+	// The map stage dominates: it must hold most of the total weight.
+	mapWeight := 0.0
+	for i := 0; i < g.N(); i++ {
+		if strings.HasPrefix(g.Name(i), "map") && !strings.HasPrefix(g.Name(i), "mapMerge") {
+			mapWeight += g.Weight(i)
+		}
+	}
+	if mapWeight < 0.5*g.TotalWeight() {
+		t.Fatalf("map stage holds only %.0f%% of the weight", 100*mapWeight/g.TotalWeight())
+	}
+}
+
+func TestParseWorkflow(t *testing.T) {
+	for _, w := range allApps {
+		got, err := ParseWorkflow(w.String())
+		if err != nil || got != w {
+			t.Fatalf("ParseWorkflow(%q) = %v, %v", w.String(), got, err)
+		}
+	}
+	if _, err := ParseWorkflow("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestDefaultLambda(t *testing.T) {
+	if Genome.DefaultLambda() != 1e-4 {
+		t.Fatal("Genome λ should be 1e-4")
+	}
+	for _, w := range []Workflow{Montage, CyberShake, Ligo} {
+		if w.DefaultLambda() != 1e-3 {
+			t.Fatalf("%v λ should be 1e-3", w)
+		}
+	}
+}
+
+func TestTooSmallNErrors(t *testing.T) {
+	for _, w := range []Workflow{Montage, CyberShake, Ligo, Genome} {
+		if _, err := Generate(w, 3, 1); err == nil {
+			t.Fatalf("%v accepted n=3", w)
+		}
+	}
+}
+
+func TestWeightsPositiveAndFinite(t *testing.T) {
+	for _, w := range allApps {
+		g, err := Generate(w, 400, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < g.N(); i++ {
+			wt := g.Weight(i)
+			if wt <= 0 || math.IsInf(wt, 0) || math.IsNaN(wt) {
+				t.Fatalf("%v task %d weight %v", w, i, wt)
+			}
+		}
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	if Montage.String() != "Montage" || Workflow(99).String() == "" {
+		t.Fatal("String misbehaves")
+	}
+}

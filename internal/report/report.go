@@ -1,0 +1,127 @@
+// Package report renders experiment results as aligned text tables
+// and CSV files. One Figure corresponds to one plot of the paper: a
+// shared x-axis (task count or failure rate) and one series per
+// heuristic, with y = T/T_inf.
+package report
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Series is one curve of a figure.
+type Series struct {
+	Name string
+	Y    []float64 // aligned with the Figure's X
+}
+
+// Figure is one reproducible plot.
+type Figure struct {
+	ID     string // e.g. "fig3a"
+	Title  string
+	XLabel string
+	X      []float64
+	Series []Series
+}
+
+// AddSeries appends a series; its length must match X.
+func (f *Figure) AddSeries(name string, y []float64) error {
+	if len(y) != len(f.X) {
+		return fmt.Errorf("report: series %q has %d points for %d x-values", name, len(y), len(f.X))
+	}
+	f.Series = append(f.Series, Series{Name: name, Y: y})
+	return nil
+}
+
+// Table renders the figure as an aligned text table: one row per
+// x-value, one column per series.
+func (f *Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", f.ID, f.Title)
+	// Header.
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %12s", s.Name)
+	}
+	b.WriteByte('\n')
+	for i, x := range f.X {
+		fmt.Fprintf(&b, "%-12.6g", x)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, " %12.4f", s.Y[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values with a header row.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString(f.XLabel)
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	for i, x := range f.X {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, ",%.6f", s.Y[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteCSV writes the figure to dir/<ID>.csv, creating dir if needed.
+func (f *Figure) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, f.ID+".csv"), []byte(f.CSV()), 0o644)
+}
+
+// BestSeries returns, for every x index, the name of the series with
+// the smallest y — a quick textual summary of "who wins where".
+func (f *Figure) BestSeries() []string {
+	out := make([]string, len(f.X))
+	for i := range f.X {
+		best := 0
+		for s := 1; s < len(f.Series); s++ {
+			if f.Series[s].Y[i] < f.Series[best].Y[i] {
+				best = s
+			}
+		}
+		if len(f.Series) > 0 {
+			out[i] = f.Series[best].Name
+		}
+	}
+	return out
+}
+
+// Summary renders a one-line-per-series digest: min/max/mean of y.
+func (f *Figure) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: ", f.ID)
+	names := make([]string, 0, len(f.Series))
+	for _, s := range f.Series {
+		lo, hi, sum := s.Y[0], s.Y[0], 0.0
+		for _, v := range s.Y {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			sum += v
+		}
+		names = append(names, fmt.Sprintf("%s[%.3f..%.3f avg %.3f]",
+			s.Name, lo, hi, sum/float64(len(s.Y))))
+	}
+	sort.Strings(names)
+	b.WriteString(strings.Join(names, " "))
+	return b.String()
+}

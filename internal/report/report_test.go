@@ -1,0 +1,84 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *Figure {
+	f := &Figure{ID: "figX", Title: "demo", XLabel: "tasks", X: []float64{50, 100}}
+	if err := f.AddSeries("A", []float64{1.5, 1.25}); err != nil {
+		panic(err)
+	}
+	if err := f.AddSeries("B", []float64{1.1, 1.4}); err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func TestAddSeriesLengthMismatch(t *testing.T) {
+	f := &Figure{X: []float64{1, 2, 3}}
+	if err := f.AddSeries("bad", []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := sample().Table()
+	for _, frag := range []string{"figX", "tasks", "A", "B", "1.5000", "1.1000", "50", "100"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("table missing %q:\n%s", frag, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header comment + column header + 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := sample().CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	if lines[0] != "tasks,A,B" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "50,1.5") {
+		t.Fatalf("CSV row = %q", lines[1])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "out")
+	f := sample()
+	if err := f.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figX.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != f.CSV() {
+		t.Fatal("file content mismatch")
+	}
+}
+
+func TestBestSeries(t *testing.T) {
+	best := sample().BestSeries()
+	if best[0] != "B" || best[1] != "A" {
+		t.Fatalf("BestSeries = %v", best)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := sample().Summary()
+	for _, frag := range []string{"figX", "A[", "B[", "avg"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("summary missing %q: %s", frag, s)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package rng provides a small, deterministic, dependency-free random
+// number generator used throughout the workflow simulator and the
+// synthetic workflow generators.
+//
+// Determinism across Go versions matters for reproducing the paper's
+// experiments bit-for-bit, so we implement our own generator
+// (xoshiro256**, seeded through splitmix64) instead of relying on
+// math/rand, whose default source changed across releases.
+package rng
+
+import "math"
+
+// Source is a deterministic pseudo-random source implementing
+// xoshiro256** with a splitmix64-based seeding procedure.
+//
+// The zero value is not a valid source; use New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from the given seed. Any seed value,
+// including zero, yields a well-mixed internal state.
+func New(seed uint64) *Source {
+	var src Source
+	src.Reseed(seed)
+	return &src
+}
+
+// Reseed resets the source to the state derived from seed.
+func (r *Source) Reseed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		sm, r.s[i] = splitmix64(sm)
+	}
+	// Guard against the (astronomically unlikely) all-zero state,
+	// which is an absorbing state for xoshiro.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+// splitmix64 advances the splitmix64 state and returns the new state
+// and the next output value.
+func splitmix64(state uint64) (next, out uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	// Lemire-style bounded generation without bias for the sizes we
+	// use (n is always far below 2^63); a simple rejection loop keeps
+	// the code obviously correct.
+	bound := uint64(n)
+	threshold := (-bound) % bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Exp returns an exponentially distributed value with rate lambda
+// (mean 1/lambda), via inverse-transform sampling. It panics if
+// lambda <= 0.
+func (r *Source) Exp(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("rng: Exp called with non-positive rate")
+	}
+	// 1-Float64() is in (0, 1], so the log is finite.
+	return -math.Log(1-r.Float64()) / lambda
+}
+
+// Weibull returns a Weibull-distributed value with the given shape k
+// and scale λ (mean = scale·Γ(1+1/k)), via inverse-transform
+// sampling. Shape < 1 models infant-mortality failure processes,
+// shape > 1 wear-out; shape = 1 degenerates to Exp(1/scale). It
+// panics if shape or scale is not positive.
+func (r *Source) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Weibull needs positive shape and scale")
+	}
+	return scale * math.Pow(-math.Log(1-r.Float64()), 1/shape)
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation, using the Marsaglia polar method.
+func (r *Source) Normal(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// TruncNormal returns a normally distributed value clamped to
+// [lo, hi] by resampling (up to a bounded number of attempts, after
+// which it clamps). It panics if lo > hi.
+func (r *Source) TruncNormal(mean, stddev, lo, hi float64) float64 {
+	if lo > hi {
+		panic("rng: TruncNormal called with lo > hi")
+	}
+	for i := 0; i < 64; i++ {
+		x := r.Normal(mean, stddev)
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	return math.Min(math.Max(mean, lo), hi)
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle shuffles the first n elements using the provided swap
+// function (Fisher–Yates).
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Fork derives an independent source from the current one, useful for
+// giving each parallel worker or each generated workflow its own
+// stream while keeping the whole experiment reproducible from a
+// single master seed.
+func (r *Source) Fork() *Source {
+	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
+}

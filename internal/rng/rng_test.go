@@ -1,0 +1,287 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("stream diverged at step %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/64 identical outputs", same)
+	}
+}
+
+func TestReseedRestartsStream(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Reseed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("after Reseed, output %d = %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestZeroSeedIsValid(t *testing.T) {
+	r := New(0)
+	zeros := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 1 {
+		t.Fatalf("seed 0 produced %d zero outputs in 100 draws", zeros)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(9)
+	const buckets = 10
+	const draws = 100000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(draws) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d too far from %v", b, c, want)
+		}
+	}
+}
+
+func TestExpMeanAndPositivity(t *testing.T) {
+	r := New(13)
+	for _, lambda := range []float64{0.001, 0.1, 1, 25} {
+		const n = 100000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			x := r.Exp(lambda)
+			if x < 0 {
+				t.Fatalf("Exp(%v) produced negative value %v", lambda, x)
+			}
+			sum += x
+		}
+		mean := sum / n
+		want := 1 / lambda
+		if math.Abs(mean-want)/want > 0.05 {
+			t.Fatalf("Exp(%v) mean = %v, want ~%v", lambda, mean, want)
+		}
+	}
+}
+
+func TestExpPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(-1) did not panic")
+		}
+	}()
+	New(1).Exp(-1)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	const mean, sd = 10.0, 3.0
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Normal(mean, sd)
+		sum += x
+		sumsq += x * x
+	}
+	m := sum / n
+	v := sumsq/n - m*m
+	if math.Abs(m-mean) > 0.1 {
+		t.Fatalf("Normal mean = %v, want ~%v", m, mean)
+	}
+	if math.Abs(math.Sqrt(v)-sd) > 0.1 {
+		t.Fatalf("Normal stddev = %v, want ~%v", math.Sqrt(v), sd)
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 10000; i++ {
+		x := r.TruncNormal(5, 10, 1, 8)
+		if x < 1 || x > 8 {
+			t.Fatalf("TruncNormal out of bounds: %v", x)
+		}
+	}
+}
+
+func TestTruncNormalDegenerate(t *testing.T) {
+	r := New(23)
+	// Impossible-to-hit window far from the mean: must clamp, not hang.
+	x := r.TruncNormal(0, 0.001, 100, 101)
+	if x < 100 || x > 101 {
+		t.Fatalf("TruncNormal clamp out of bounds: %v", x)
+	}
+}
+
+func TestTruncNormalPanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TruncNormal(lo>hi) did not panic")
+		}
+	}()
+	New(1).TruncNormal(0, 1, 2, 1)
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(29)
+	for i := 0; i < 10000; i++ {
+		x := r.Uniform(3, 7)
+		if x < 3 || x >= 7 {
+			t.Fatalf("Uniform(3,7) = %v out of range", x)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(31)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(37)
+	s := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	seen := make([]bool, len(s))
+	for _, v := range s {
+		if seen[v] {
+			t.Fatalf("Shuffle produced duplicate: %v", s)
+		}
+		seen[v] = true
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := New(41)
+	a := r.Fork()
+	b := r.Fork()
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked streams nearly identical: %d/64 equal", same)
+	}
+}
+
+// Property: Exp is monotone in the underlying uniform draw, therefore
+// always finite and non-negative regardless of seed.
+func TestExpAlwaysFinite(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			x := r.Exp(0.5)
+			if x < 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Perm output is a permutation for arbitrary seeds/sizes.
+func TestPermProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw % 64)
+		p := New(seed).Perm(n)
+		seen := make(map[int]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/pwg"
+	"repro/internal/stats"
+)
+
+func TestGreedyNeverWorseThanNever(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 3 + int(nRaw%15)
+		g := randomDAG(seed, n)
+		order := DF{}.Linearize(g)
+		ev := core.NewEvaluator()
+		_, vNvr := CkptNvr{}.Apply(g, plat, order, ev)
+		s, vGreedy := CkptGreedy{}.Apply(g, plat, order, ev)
+		if vGreedy > vNvr+1e-9 {
+			return false
+		}
+		return stats.RelDiff(core.Eval(s, plat), vGreedy) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyBeatsRankedOnAdversarialWeights(t *testing.T) {
+	// A workload where the fixed rankings are misled: one heavy task
+	// with an enormous checkpoint cost (so CkptW wastes its first
+	// pick) among failure-critical medium tasks. Greedy, which
+	// evaluates actual improvements, must not lose to CkptW.
+	g := dag.New()
+	prev := g.AddTask(dag.Task{Weight: 500, CkptCost: 2000, RecCost: 2000})
+	for i := 0; i < 6; i++ {
+		id := g.AddTask(dag.Task{Weight: 100, CkptCost: 5, RecCost: 5})
+		g.MustAddEdge(prev, id)
+		prev = id
+	}
+	p := failure.Platform{Lambda: 0.002}
+	order := DF{}.Linearize(g)
+	ev := core.NewEvaluator()
+	_, vW := NewCkptW(0).Apply(g, p, order, ev)
+	_, vG := CkptGreedy{}.Apply(g, p, order, ev)
+	if vG > vW+1e-9 {
+		t.Fatalf("greedy %v lost to CkptW %v on adversarial weights", vG, vW)
+	}
+}
+
+func TestGreedyMaxCkptsRespected(t *testing.T) {
+	g := randomDAG(7, 20)
+	// Heavy failure pressure so unconstrained greedy would place many.
+	g.ScaleCkptCosts(func(t dag.Task) (float64, float64) { return 0.01 * t.Weight, 0.01 * t.Weight })
+	p := failure.Platform{Lambda: 0.01}
+	order := DF{}.Linearize(g)
+	ev := core.NewEvaluator()
+	s, _ := CkptGreedy{MaxCkpts: 3}.Apply(g, p, order, ev)
+	if s.NumCheckpointed() > 3 {
+		t.Fatalf("greedy placed %d checkpoints with cap 3", s.NumCheckpointed())
+	}
+}
+
+func TestGreedyCandidatePoolRestriction(t *testing.T) {
+	g := randomDAG(9, 25)
+	order := DF{}.Linearize(g)
+	ev := core.NewEvaluator()
+	sAll, vAll := CkptGreedy{}.Apply(g, plat, order, ev)
+	sPool, vPool := CkptGreedy{Candidates: 5}.Apply(g, plat, order, ev)
+	// Restricted pool can only checkpoint within the 5 heaviest.
+	heaviest := map[int]bool{}
+	for _, id := range rankBy(g, func(a, b int) (bool, bool) {
+		wa, wb := g.Weight(a), g.Weight(b)
+		return wa > wb, wa == wb
+	})[:5] {
+		heaviest[id] = true
+	}
+	for id, b := range sPool.Ckpt {
+		if b && !heaviest[id] {
+			t.Fatalf("restricted greedy checkpointed non-candidate %d", id)
+		}
+	}
+	// Unrestricted search is at least as good.
+	if vAll > vPool+1e-9 {
+		t.Fatalf("full pool %v worse than restricted %v", vAll, vPool)
+	}
+	_ = sAll
+}
+
+func TestGreedyRareFailuresPlacesNothing(t *testing.T) {
+	g := randomDAG(13, 10)
+	p := failure.Platform{Lambda: 1e-9}
+	order := DF{}.Linearize(g)
+	ev := core.NewEvaluator()
+	s, _ := CkptGreedy{}.Apply(g, p, order, ev)
+	if s.NumCheckpointed() != 0 {
+		t.Fatalf("greedy checkpointed %d tasks at λ≈0", s.NumCheckpointed())
+	}
+}
+
+func TestPaper14Plus(t *testing.T) {
+	hs := Paper14Plus(Options{RFSeed: 1})
+	if len(hs) != 17 {
+		t.Fatalf("Paper14Plus returned %d heuristics", len(hs))
+	}
+	found := 0
+	for _, h := range hs {
+		if h.Strat.Name() == "CkptGreedy" {
+			found++
+		}
+	}
+	if found != 3 {
+		t.Fatalf("found %d greedy variants, want 3", found)
+	}
+}
+
+func TestGreedyOnGeneratedWorkflow(t *testing.T) {
+	g, err := pwg.Generate(pwg.CyberShake, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ScaleCkptCosts(func(t dag.Task) (float64, float64) { return 0.1 * t.Weight, 0.1 * t.Weight })
+	p := failure.Platform{Lambda: 1e-3}
+	order := DF{}.Linearize(g)
+	ev := core.NewEvaluator()
+	_, vG := CkptGreedy{Candidates: 32}.Apply(g, p, order, ev)
+	_, vW := NewCkptW(0).Apply(g, p, order, ev)
+	// Greedy should land in the same quality region as the best
+	// ranked strategy (within 5%).
+	if vG > vW*1.05 {
+		t.Fatalf("greedy %v more than 5%% worse than CkptW %v", vG, vW)
+	}
+}

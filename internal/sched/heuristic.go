@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+)
+
+// Heuristic is a complete DAG-ChkptSched heuristic: a linearization
+// strategy combined with a checkpointing strategy, named as in the
+// paper (e.g. DF-CkptW).
+type Heuristic struct {
+	Lin   Linearizer
+	Strat Strategy
+}
+
+// Name returns the paper-style name, e.g. "DF-CkptW".
+func (h Heuristic) Name() string {
+	return fmt.Sprintf("%s-%s", h.Lin.Name(), h.Strat.Name())
+}
+
+// Result is the outcome of one heuristic on one workflow.
+type Result struct {
+	Name     string
+	Schedule *core.Schedule
+	Expected float64
+	Ratio    float64 // Expected / T_inf (the paper's y-axis)
+}
+
+// Run executes the heuristic on workflow g for platform plat.
+func (h Heuristic) Run(g *dag.Graph, plat failure.Platform) Result {
+	return h.RunWith(g, plat, core.NewEvaluator())
+}
+
+// RunWith is Run with a caller-provided evaluator (reusable buffers).
+func (h Heuristic) RunWith(g *dag.Graph, plat failure.Platform, ev *core.Evaluator) Result {
+	order := h.Lin.Linearize(g)
+	s, v := h.Strat.Apply(g, plat, order, ev)
+	tinf := g.TotalWeight()
+	ratio := 0.0
+	if tinf > 0 {
+		ratio = v / tinf
+	}
+	return Result{Name: h.Name(), Schedule: s, Expected: v, Ratio: ratio}
+}
+
+// Options tunes the heuristic set construction.
+type Options struct {
+	// RFSeed seeds the random linearizer.
+	RFSeed uint64
+	// Grid bounds the checkpoint-count search of CkptW/C/D/Per
+	// (≤ 0: the paper's exhaustive N = 1..n−1).
+	Grid int
+}
+
+// Paper14 returns the paper's 14 heuristics: DF-CkptNvr, DF-CkptAlws
+// (baselines, DF only, as in Section 5) plus {DF,BF,RF} × {CkptW,
+// CkptC, CkptD, CkptPer}.
+func Paper14(o Options) []Heuristic {
+	lins := []Linearizer{DF{}, BF{}, RF{Seed: o.RFSeed}}
+	hs := []Heuristic{
+		{Lin: DF{}, Strat: CkptNvr{}},
+		{Lin: DF{}, Strat: CkptAlws{}},
+	}
+	for _, lin := range lins {
+		hs = append(hs,
+			Heuristic{Lin: lin, Strat: NewCkptW(o.Grid)},
+			Heuristic{Lin: lin, Strat: NewCkptC(o.Grid)},
+			Heuristic{Lin: lin, Strat: NewCkptD(o.Grid)},
+			Heuristic{Lin: lin, Strat: CkptPer{Grid: o.Grid}},
+		)
+	}
+	return hs
+}
+
+// ByName returns the heuristic with the given paper-style name from
+// Paper14, or an error listing the valid names.
+func ByName(name string, o Options) (Heuristic, error) {
+	for _, h := range Paper14(o) {
+		if h.Name() == name {
+			return h, nil
+		}
+	}
+	valid := make([]string, 0, 14)
+	for _, h := range Paper14(o) {
+		valid = append(valid, h.Name())
+	}
+	return Heuristic{}, fmt.Errorf("sched: unknown heuristic %q (valid: %v)", name, valid)
+}
+
+// RunAll executes every heuristic on g and returns the results in the
+// same order.
+func RunAll(hs []Heuristic, g *dag.Graph, plat failure.Platform) []Result {
+	ev := core.NewEvaluator()
+	out := make([]Result, 0, len(hs))
+	for _, h := range hs {
+		out = append(out, h.RunWith(g, plat, ev))
+	}
+	return out
+}
+
+// Best returns the result with the lowest expected makespan.
+func Best(results []Result) Result {
+	if len(results) == 0 {
+		panic("sched: Best of empty results")
+	}
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.Expected < best.Expected {
+			best = r
+		}
+	}
+	return best
+}

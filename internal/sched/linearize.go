@@ -1,0 +1,162 @@
+// Package sched implements the Section 5 heuristics for
+// DAG-ChkptSched on general DAGs: three DAG linearization strategies
+// (Depth First, Breadth First, Random First, prioritized by
+// decreasing out-weight) combined with six checkpointing strategies
+// (CkptNvr, CkptAlws, CkptW, CkptC, CkptD, CkptPer). The strategies
+// that fix a checkpoint count N search N = 1..n−1 exhaustively using
+// the polynomial-time evaluator of Theorem 3 — the capability that
+// distinguishes this paper from prior work.
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/rng"
+)
+
+// Linearizer produces a linearization (total order extending the
+// dependencies) of a workflow DAG.
+type Linearizer interface {
+	// Name is the paper's short label (DF, BF, RF).
+	Name() string
+	// Linearize returns a valid linearization of g.
+	Linearize(g *dag.Graph) []int
+}
+
+// priorities returns the out-weight of every task (the sum of the
+// weights of its direct successors), the priority used by DF and BF:
+// tasks with heavy subtrees should be executed first.
+func priorities(g *dag.Graph) []float64 {
+	p := make([]float64, g.N())
+	for i := range p {
+		p[i] = g.OutWeight(i)
+	}
+	return p
+}
+
+// sortCandidates orders task IDs by decreasing priority, breaking
+// ties by increasing ID for determinism.
+func sortCandidates(ids []int, prio []float64) {
+	sort.SliceStable(ids, func(a, b int) bool {
+		if prio[ids[a]] != prio[ids[b]] {
+			return prio[ids[a]] > prio[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+}
+
+// DF is the depth-first linearizer: among ready tasks it always picks
+// the most recently enabled ones first (LIFO), so it makes progress
+// toward sinks on the most recently completed work before switching
+// branches — minimizing the work at risk when a failure strikes.
+type DF struct{}
+
+// Name implements Linearizer.
+func (DF) Name() string { return "DF" }
+
+// Linearize implements Linearizer.
+func (DF) Linearize(g *dag.Graph) []int {
+	n := g.N()
+	prio := priorities(g)
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = g.InDegree(i)
+	}
+	var stack []int
+	push := func(ready []int) {
+		// Sort descending, then push in reverse so the highest
+		// priority candidate ends on top of the stack.
+		sortCandidates(ready, prio)
+		for i := len(ready) - 1; i >= 0; i-- {
+			stack = append(stack, ready[i])
+		}
+	}
+	push(g.Sources())
+	order := make([]int, 0, n)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, v)
+		var newly []int
+		for _, s := range g.Succs(v) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				newly = append(newly, s)
+			}
+		}
+		if len(newly) > 0 {
+			push(newly)
+		}
+	}
+	return order
+}
+
+// BF is the breadth-first linearizer: ready tasks are executed in the
+// order they became ready (FIFO), sweeping the DAG level by level.
+type BF struct{}
+
+// Name implements Linearizer.
+func (BF) Name() string { return "BF" }
+
+// Linearize implements Linearizer.
+func (BF) Linearize(g *dag.Graph) []int {
+	n := g.N()
+	prio := priorities(g)
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = g.InDegree(i)
+	}
+	queue := g.Sources()
+	sortCandidates(queue, prio)
+	order := make([]int, 0, n)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		order = append(order, v)
+		var newly []int
+		for _, s := range g.Succs(v) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				newly = append(newly, s)
+			}
+		}
+		sortCandidates(newly, prio)
+		queue = append(queue, newly...)
+	}
+	return order
+}
+
+// RF is the random-first linearizer: it repeatedly executes a
+// uniformly random ready task. The seed makes runs reproducible.
+type RF struct {
+	Seed uint64
+}
+
+// Name implements Linearizer.
+func (RF) Name() string { return "RF" }
+
+// Linearize implements Linearizer.
+func (r RF) Linearize(g *dag.Graph) []int {
+	n := g.N()
+	src := rng.New(r.Seed)
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = g.InDegree(i)
+	}
+	ready := g.Sources()
+	order := make([]int, 0, n)
+	for len(ready) > 0 {
+		k := src.Intn(len(ready))
+		v := ready[k]
+		ready[k] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, v)
+		for _, s := range g.Succs(v) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	return order
+}

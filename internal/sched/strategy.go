@@ -1,0 +1,267 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+)
+
+// Strategy decides which tasks of a linearized workflow to
+// checkpoint, returning the best schedule it can construct for the
+// given order (the linearization is owned by the caller and must not
+// be modified).
+type Strategy interface {
+	// Name is the paper's label (CkptNvr, CkptAlws, CkptW, CkptC,
+	// CkptD, CkptPer).
+	Name() string
+	// Apply selects checkpoints for the given linearization and
+	// returns the schedule plus its expected makespan.
+	Apply(g *dag.Graph, plat failure.Platform, order []int, ev *core.Evaluator) (*core.Schedule, float64)
+}
+
+// SweepNs returns the checkpoint counts that the N-searching
+// strategies explore for an n-task workflow: the paper's exhaustive
+// N = 1..n−1 when grid ≤ 0 or grid ≥ n−1, otherwise approximately
+// `grid` values spread uniformly over [1, n−1] (always including
+// both endpoints), the -quick mode of the experiment harness.
+func SweepNs(n, grid int) []int {
+	if n <= 1 {
+		return nil
+	}
+	max := n - 1
+	if grid <= 0 || grid >= max {
+		ns := make([]int, max)
+		for i := range ns {
+			ns[i] = i + 1
+		}
+		return ns
+	}
+	seen := make(map[int]bool, grid)
+	ns := make([]int, 0, grid)
+	for i := 0; i < grid; i++ {
+		v := 1 + int(math.Round(float64(i)*float64(max-1)/float64(grid-1)))
+		if v < 1 {
+			v = 1
+		}
+		if v > max {
+			v = max
+		}
+		if !seen[v] {
+			seen[v] = true
+			ns = append(ns, v)
+		}
+	}
+	return ns
+}
+
+// CkptNvr never checkpoints (baseline).
+type CkptNvr struct{}
+
+// Name implements Strategy.
+func (CkptNvr) Name() string { return "CkptNvr" }
+
+// Apply implements Strategy.
+func (CkptNvr) Apply(g *dag.Graph, plat failure.Platform, order []int, ev *core.Evaluator) (*core.Schedule, float64) {
+	s := &core.Schedule{Graph: g, Order: order, Ckpt: make([]bool, g.N())}
+	return s, ev.Eval(s, plat)
+}
+
+// CkptAlws checkpoints every task (baseline).
+type CkptAlws struct{}
+
+// Name implements Strategy.
+func (CkptAlws) Name() string { return "CkptAlws" }
+
+// Apply implements Strategy.
+func (CkptAlws) Apply(g *dag.Graph, plat failure.Platform, order []int, ev *core.Evaluator) (*core.Schedule, float64) {
+	mask := make([]bool, g.N())
+	for i := range mask {
+		mask[i] = true
+	}
+	s := &core.Schedule{Graph: g, Order: order, Ckpt: mask}
+	return s, ev.Eval(s, plat)
+}
+
+// rankedStrategy checkpoints the top-N tasks of a fixed ranking and
+// searches N exhaustively (or over a grid) with the evaluator.
+type rankedStrategy struct {
+	name string
+	grid int
+	rank func(g *dag.Graph) []int // task IDs, best-to-checkpoint first
+}
+
+func (r rankedStrategy) Name() string { return r.name }
+
+func (r rankedStrategy) Apply(g *dag.Graph, plat failure.Platform, order []int, ev *core.Evaluator) (*core.Schedule, float64) {
+	n := g.N()
+	ranked := r.rank(g)
+	if len(ranked) != n {
+		panic(fmt.Sprintf("sched: ranking returned %d of %d tasks", len(ranked), n))
+	}
+	bestVal := math.Inf(1)
+	bestN := -1
+	var bestMask []bool
+	mask := make([]bool, n)
+	prev := 0
+	s := &core.Schedule{Graph: g, Order: order, Ckpt: mask}
+	eval := func(N int) {
+		// Adjust the incremental mask to exactly the top-N prefix.
+		for ; prev < N; prev++ {
+			mask[ranked[prev]] = true
+		}
+		for ; prev > N; prev-- {
+			mask[ranked[prev-1]] = false
+		}
+		v := ev.Eval(s, plat)
+		if v < bestVal {
+			bestVal = v
+			bestN = N
+			bestMask = append(bestMask[:0], mask...)
+		}
+	}
+	ns := SweepNs(n, r.grid)
+	for _, N := range ns {
+		eval(N)
+	}
+	if bestMask == nil { // n == 1: no N to try, fall back to never
+		return CkptNvr{}.Apply(g, plat, order, ev)
+	}
+	// Second stage for grid searches: the makespan is close to
+	// unimodal in N, so exhaustively scan the gap around the best
+	// grid point to recover most of the exhaustive search's quality
+	// at a fraction of its cost.
+	if r.grid > 0 && len(ns) >= 2 {
+		lo, hi := 1, n-1
+		for i, N := range ns {
+			if N == bestN {
+				if i > 0 {
+					lo = ns[i-1] + 1
+				}
+				if i < len(ns)-1 {
+					hi = ns[i+1] - 1
+				}
+				break
+			}
+		}
+		for N := lo; N <= hi; N++ {
+			if N != bestN {
+				eval(N)
+			}
+		}
+	}
+	out := &core.Schedule{Graph: g, Order: order, Ckpt: bestMask}
+	return out, bestVal
+}
+
+// rankBy returns task IDs sorted by the given less function with ID
+// tie-breaking.
+func rankBy(g *dag.Graph, better func(a, b int) (bool, bool)) []int {
+	ids := make([]int, g.N())
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.SliceStable(ids, func(x, y int) bool {
+		b, eq := better(ids[x], ids[y])
+		if !eq {
+			return b
+		}
+		return ids[x] < ids[y]
+	})
+	return ids
+}
+
+// NewCkptW builds the CkptW strategy: checkpoint first the tasks with
+// the largest computational weight w (their loss is the most
+// expensive to recompute). grid ≤ 0 searches every N.
+func NewCkptW(grid int) Strategy {
+	return rankedStrategy{name: "CkptW", grid: grid, rank: func(g *dag.Graph) []int {
+		return rankBy(g, func(a, b int) (bool, bool) {
+			wa, wb := g.Weight(a), g.Weight(b)
+			return wa > wb, wa == wb
+		})
+	}}
+}
+
+// NewCkptC builds the CkptC strategy: checkpoint first the tasks with
+// the smallest checkpointing cost c.
+func NewCkptC(grid int) Strategy {
+	return rankedStrategy{name: "CkptC", grid: grid, rank: func(g *dag.Graph) []int {
+		return rankBy(g, func(a, b int) (bool, bool) {
+			ca, cb := g.CkptCost(a), g.CkptCost(b)
+			return ca < cb, ca == cb
+		})
+	}}
+}
+
+// NewCkptD builds the CkptD strategy: checkpoint first the tasks
+// whose direct successors carry the most weight (d_i = out-weight),
+// i.e. whose loss endangers the most downstream work.
+func NewCkptD(grid int) Strategy {
+	return rankedStrategy{name: "CkptD", grid: grid, rank: func(g *dag.Graph) []int {
+		return rankBy(g, func(a, b int) (bool, bool) {
+			da, db := g.OutWeight(a), g.OutWeight(b)
+			return da > db, da == db
+		})
+	}}
+}
+
+// CkptPer is the periodic-checkpointing strategy transplanted from
+// divisible-load analysis (Young/Daly): given the linearization and a
+// checkpoint count N, it checkpoints the task that completes the
+// earliest after each time threshold x·W/N (x = 1..N−1) in a
+// failure-free execution, then searches N like the other strategies.
+// The paper shows it behaves poorly precisely because it ignores the
+// DAG's structure.
+type CkptPer struct {
+	// Grid bounds the N search as in SweepNs (≤ 0: exhaustive).
+	Grid int
+}
+
+// Name implements Strategy.
+func (CkptPer) Name() string { return "CkptPer" }
+
+// Apply implements Strategy.
+func (c CkptPer) Apply(g *dag.Graph, plat failure.Platform, order []int, ev *core.Evaluator) (*core.Schedule, float64) {
+	n := g.N()
+	// cum[p] = failure-free completion time of the task at position p.
+	cum := make([]float64, n)
+	acc := 0.0
+	for p, id := range order {
+		acc += g.Weight(id)
+		cum[p] = acc
+	}
+	total := acc
+	bestVal := math.Inf(1)
+	var bestMask []bool
+	mask := make([]bool, n)
+	s := &core.Schedule{Graph: g, Order: order, Ckpt: mask}
+	for _, N := range SweepNs(n, c.Grid) {
+		for i := range mask {
+			mask[i] = false
+		}
+		pos := 0
+		for x := 1; x <= N-1; x++ {
+			threshold := float64(x) * total / float64(N)
+			for pos < n && cum[pos] < threshold {
+				pos++
+			}
+			if pos < n {
+				mask[order[pos]] = true
+			}
+		}
+		v := ev.Eval(s, plat)
+		if v < bestVal {
+			bestVal = v
+			bestMask = append(bestMask[:0], mask...)
+		}
+	}
+	if bestMask == nil {
+		return CkptNvr{}.Apply(g, plat, order, ev)
+	}
+	out := &core.Schedule{Graph: g, Order: order, Ckpt: bestMask}
+	return out, bestVal
+}

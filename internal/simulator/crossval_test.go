@@ -1,0 +1,97 @@
+package simulator
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/rng"
+)
+
+// randomScheduledDAG builds a random layered DAG with a random valid
+// linearization and a random checkpoint mask — the adversarial
+// counterpart to the structured workloads of simulator_test.go.
+func randomScheduledDAG(seed uint64, n int) (*core.Schedule, failure.Platform) {
+	r := rng.New(seed)
+	g := dag.New()
+	for i := 0; i < n; i++ {
+		g.AddTask(dag.Task{
+			Weight:   r.Uniform(5, 60),
+			CkptCost: r.Uniform(0.5, 8),
+			RecCost:  r.Uniform(0.5, 8),
+		})
+	}
+	for j := 1; j < n; j++ {
+		k := 1 + r.Intn(3)
+		for e := 0; e < k; e++ {
+			g.MustAddEdge(r.Intn(j), j)
+		}
+	}
+	// Random linearization by random ready choice.
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = g.InDegree(i)
+	}
+	var ready []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(ready) > 0 {
+		k := r.Intn(len(ready))
+		v := ready[k]
+		ready[k] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, v)
+		for _, s := range g.Succs(v) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	ck := make([]bool, n)
+	for i := range ck {
+		ck[i] = r.Float64() < 0.5
+	}
+	s, err := core.NewSchedule(g, order, ck)
+	if err != nil {
+		panic(err)
+	}
+	plat := failure.Platform{
+		Lambda:   r.Uniform(0.002, 0.02),
+		Downtime: r.Uniform(0, 3),
+	}
+	return s, plat
+}
+
+// TestCrossValidationRandomDAGs is the adversarial version of the
+// structured cross-validation: on randomly wired DAGs with random
+// schedules, random checkpoint sets and random platforms, the
+// Theorem 3 evaluator and the mechanistic fault-injection simulator
+// must agree within Monte-Carlo error. Any divergence in the T↓
+// recovery-set semantics between the two implementations would
+// surface here.
+func TestCrossValidationRandomDAGs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical cross-validation skipped in -short mode")
+	}
+	for seed := uint64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			s, plat := randomScheduledDAG(seed*1337, 4+int(seed%9))
+			want := core.Eval(s, plat)
+			acc, _ := Batch(s, plat, seed*7+1, 40000)
+			tol := 4.5*acc.CI(0.99) + 1e-9
+			if diff := math.Abs(acc.Mean() - want); diff > tol {
+				t.Fatalf("seed %d: MC %v ± %v vs analytic %v (diff %v)",
+					seed, acc.Mean(), acc.CI(0.99), want, diff)
+			}
+		})
+	}
+}

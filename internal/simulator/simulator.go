@@ -1,0 +1,298 @@
+// Package simulator executes a workflow schedule under randomly drawn
+// exponential failures, implementing the exact fault-tolerance
+// semantics of Section 3 of the paper:
+//
+//   - the platform behaves as a single macro-processor: a failure
+//     destroys the entire in-memory state (every task output that was
+//     not checkpointed) and incurs a constant downtime D;
+//   - checkpointed outputs persist on stable storage and can be
+//     re-loaded in r_j seconds;
+//   - before (re-)executing a task, all of its direct predecessors'
+//     outputs must be in memory: missing checkpointed outputs are
+//     recovered, missing non-checkpointed outputs are recomputed
+//     recursively (re-entering the recovery closure), and failures may
+//     strike during recoveries, re-executions and checkpoints;
+//   - the checkpoint of a task is atomic with the task: a failure
+//     during the c_i seconds of checkpointing loses the task's output
+//     (this is the w+c grouping of Eq. (1)).
+//
+// The paper's Theorem 3 makes this simulator unnecessary for
+// computing expectations, but it is exactly the "prohibitively
+// time-consuming stochastic experiments" alternative mentioned in the
+// conclusion — and therefore the perfect independent oracle: the
+// sample mean over many runs must match core.Eval. Tests enforce
+// this.
+package simulator
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Result summarises one simulated execution.
+type Result struct {
+	Makespan  float64
+	Failures  int     // number of failures that struck during the run
+	LostTime  float64 // time spent on work that was later destroyed, plus downtime
+	Recovered int     // number of checkpoint recoveries performed
+	Reexec    int     // number of task re-executions (beyond the first)
+}
+
+// EventKind labels one timeline segment of a traced run.
+type EventKind int
+
+// Timeline segment kinds.
+const (
+	// EventExec: a task executing (its checkpoint, if any, included).
+	EventExec EventKind = iota
+	// EventRecovery: loading a checkpointed output from storage.
+	EventRecovery
+	// EventRedo: re-executing a lost, non-checkpointed predecessor.
+	EventRedo
+	// EventWasted: work destroyed by the failure ending the segment.
+	EventWasted
+	// EventDowntime: the platform unavailable after a failure.
+	EventDowntime
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventExec:
+		return "exec"
+	case EventRecovery:
+		return "recovery"
+	case EventRedo:
+		return "redo"
+	case EventWasted:
+		return "wasted"
+	case EventDowntime:
+		return "downtime"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one contiguous timeline segment of a traced run. Task is
+// −1 for downtime segments.
+type Event struct {
+	Kind       EventKind
+	Task       int
+	Start, End float64
+}
+
+// Duration returns End − Start.
+func (e Event) Duration() float64 { return e.End - e.Start }
+
+// GapDraw produces one inter-failure gap (the time from now, or from
+// the last failure, to the next failure). Non-exponential draws model
+// the age-dependent failure processes of the related work (Weibull);
+// each failure is a renewal point.
+type GapDraw func(src *rng.Source) float64
+
+// ExponentialGaps is the paper's failure model: i.i.d. exponential
+// gaps with rate lambda.
+func ExponentialGaps(lambda float64) GapDraw {
+	return func(src *rng.Source) float64 { return src.Exp(lambda) }
+}
+
+// WeibullGaps returns Weibull-distributed gaps with the given shape
+// and the same mean as an exponential with rate lambda (MTBF 1/λ) —
+// the standard robustness check: shape < 1 ≈ infant mortality (bursty
+// failures, typical of HPC logs), shape > 1 ≈ wear-out.
+func WeibullGaps(shape, lambda float64) GapDraw {
+	scale := 1 / (lambda * math.Gamma(1+1/shape))
+	return func(src *rng.Source) float64 { return src.Weibull(shape, scale) }
+}
+
+// Simulator runs schedules against a fault injector. It is not safe
+// for concurrent use; create one per goroutine (Fork the RNG).
+type Simulator struct {
+	plat failure.Platform
+	src  *rng.Source
+	gaps GapDraw // nil when the platform is failure-free
+
+	// nextFail is the absolute time of the next failure. With
+	// exponential gaps this is a Poisson process on the timeline
+	// (memoryless); with general gaps each failure is a renewal point.
+	nextFail float64
+	now      float64
+
+	inMem  []bool
+	onDisk []bool
+	res    Result
+
+	// record, when non-nil, receives every timeline segment.
+	record func(Event)
+}
+
+// SetRecorder installs (or clears, with nil) an event callback that
+// receives every timeline segment of subsequent runs: task
+// executions, recoveries, re-executions, wasted work and downtime.
+func (sim *Simulator) SetRecorder(fn func(Event)) { sim.record = fn }
+
+// New returns a simulator with the paper's exponential failure model
+// at the platform's rate.
+func New(plat failure.Platform, src *rng.Source) *Simulator {
+	if err := plat.Validate(); err != nil {
+		panic(err)
+	}
+	sim := &Simulator{plat: plat, src: src}
+	if !plat.FailureFree() {
+		sim.gaps = ExponentialGaps(plat.Lambda)
+	}
+	return sim
+}
+
+// NewWithGaps returns a simulator whose inter-failure gaps come from
+// the given draw instead of the platform's exponential law. The
+// platform still supplies the downtime (its Lambda is ignored by the
+// injector). A nil draw means no failures ever occur.
+func NewWithGaps(plat failure.Platform, src *rng.Source, gaps GapDraw) *Simulator {
+	if err := plat.Validate(); err != nil {
+		panic(err)
+	}
+	return &Simulator{plat: plat, src: src, gaps: gaps}
+}
+
+// errFault is the internal control-flow signal for "a failure struck
+// during the current segment".
+type errFault struct{}
+
+func (errFault) Error() string { return "fault" }
+
+// Run executes the schedule once and returns the realized makespan
+// and counters. The schedule must be valid (core.Schedule.Validate).
+func (sim *Simulator) Run(s *core.Schedule) Result {
+	n := s.Graph.N()
+	sim.now = 0
+	sim.res = Result{}
+	if cap(sim.inMem) < n {
+		sim.inMem = make([]bool, n)
+		sim.onDisk = make([]bool, n)
+	}
+	sim.inMem = sim.inMem[:n]
+	sim.onDisk = sim.onDisk[:n]
+	for i := range sim.inMem {
+		sim.inMem[i] = false
+		sim.onDisk[i] = false
+	}
+	if sim.gaps == nil {
+		sim.nextFail = math.Inf(1)
+	} else {
+		sim.nextFail = sim.gaps(sim.src)
+	}
+
+	for _, id := range s.Order {
+		// Retry the whole "make inputs available, then execute"
+		// procedure until the task (and its checkpoint) completes
+		// without a failure destroying it.
+		for {
+			if err := sim.ensureInputs(s, id); err != nil {
+				continue
+			}
+			seg := s.Graph.Weight(id)
+			if s.Ckpt[id] {
+				seg += s.Graph.CkptCost(id)
+			}
+			if err := sim.segment(seg, EventExec, id); err != nil {
+				sim.res.Reexec++
+				continue
+			}
+			sim.inMem[id] = true
+			if s.Ckpt[id] {
+				sim.onDisk[id] = true
+			}
+			break
+		}
+	}
+	sim.res.Makespan = sim.now
+	return sim.res
+}
+
+// ensureInputs brings the outputs of all direct predecessors of id
+// into memory, recursing through the non-checkpointed closure. On a
+// failure it records the fault and returns errFault; the caller
+// restarts the procedure (memory has been wiped).
+func (sim *Simulator) ensureInputs(s *core.Schedule, id int) error {
+	for _, p := range s.Graph.Preds(id) {
+		if sim.inMem[p] {
+			continue
+		}
+		if sim.onDisk[p] {
+			if err := sim.segment(s.Graph.RecCost(p), EventRecovery, p); err != nil {
+				return err
+			}
+			sim.res.Recovered++
+			sim.inMem[p] = true
+			continue
+		}
+		// Lost, non-checkpointed output: recompute it, which first
+		// requires its own inputs.
+		if err := sim.ensureInputs(s, p); err != nil {
+			return err
+		}
+		if err := sim.segment(s.Graph.Weight(p), EventRedo, p); err != nil {
+			return err
+		}
+		sim.res.Reexec++
+		sim.inMem[p] = true
+	}
+	return nil
+}
+
+// segment advances time by d seconds of vulnerable work attributed to
+// the given event kind and task. If the next failure lands inside the
+// segment, time advances to the failure, downtime is applied, memory
+// is wiped, a fresh failure is drawn, and errFault is returned.
+func (sim *Simulator) segment(d float64, kind EventKind, task int) error {
+	if d < 0 {
+		panic(fmt.Sprintf("simulator: negative segment %v", d))
+	}
+	if sim.now+d <= sim.nextFail {
+		if sim.record != nil && d > 0 {
+			sim.record(Event{Kind: kind, Task: task, Start: sim.now, End: sim.now + d})
+		}
+		sim.now += d
+		return nil
+	}
+	wasted := sim.nextFail - sim.now
+	if sim.record != nil {
+		if wasted > 0 {
+			sim.record(Event{Kind: EventWasted, Task: task, Start: sim.now, End: sim.nextFail})
+		}
+		if sim.plat.Downtime > 0 {
+			sim.record(Event{Kind: EventDowntime, Task: -1,
+				Start: sim.nextFail, End: sim.nextFail + sim.plat.Downtime})
+		}
+	}
+	sim.now = sim.nextFail + sim.plat.Downtime
+	sim.res.Failures++
+	sim.res.LostTime += wasted + sim.plat.Downtime
+	for i := range sim.inMem {
+		sim.inMem[i] = false
+	}
+	sim.nextFail = sim.now + sim.gaps(sim.src)
+	return errFault{}
+}
+
+// Batch runs the schedule trials times and returns the accumulated
+// makespan statistics plus the average failure count per run.
+func Batch(s *core.Schedule, plat failure.Platform, seed uint64, trials int) (makespan stats.Accumulator, avgFailures float64) {
+	sim := New(plat, rng.New(seed))
+	totFail := 0
+	for t := 0; t < trials; t++ {
+		r := sim.Run(s)
+		makespan.Add(r.Makespan)
+		totFail += r.Failures
+	}
+	if trials > 0 {
+		avgFailures = float64(totFail) / float64(trials)
+	}
+	return makespan, avgFailures
+}

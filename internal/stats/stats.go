@@ -1,0 +1,262 @@
+// Package stats provides the small set of statistical tools needed by
+// the experimental harness and the Monte-Carlo simulator: running
+// moments (Welford), confidence intervals, percentiles, and simple
+// series summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator computes running mean and variance using Welford's
+// numerically stable online algorithm. The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 when empty).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Min returns the smallest observation (0 when empty).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation (0 when empty).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// observations).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// CI returns the half-width of the two-sided confidence interval of
+// the mean at the given confidence level (e.g. 0.95, 0.99), using the
+// normal approximation, which is accurate for the sample sizes
+// (thousands of Monte-Carlo trials) used in this project.
+func (a *Accumulator) CI(level float64) float64 {
+	return ZQuantile(0.5+level/2) * a.StdErr()
+}
+
+// Merge combines another accumulator into this one (parallel Welford
+// merge). Min/max are combined as well.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	n := a.n + b.n
+	delta := b.mean - a.mean
+	mean := a.mean + delta*float64(b.n)/float64(n)
+	m2 := a.m2 + b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(n)
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	a.n, a.mean, a.m2 = n, mean, m2
+}
+
+// String summarises the accumulator.
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g",
+		a.n, a.Mean(), a.StdDev(), a.min, a.max)
+}
+
+// ZQuantile returns the quantile function (inverse CDF) of the
+// standard normal distribution, using the Beasley–Springer–Moro
+// rational approximation (absolute error below 1e-9 over (0,1)).
+func ZQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		if p == 0.5 {
+			return 0
+		}
+		return math.NaN()
+	}
+	// Coefficients from Moro (1995).
+	a := [4]float64{2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637}
+	b := [4]float64{-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833}
+	c := [9]float64{
+		0.3374754822726147, 0.9761690190917186, 0.1607979714918209,
+		0.0276438810333863, 0.0038405729373609, 0.0003951896511919,
+		0.0000321767881768, 0.0000002888167364, 0.0000003960315187,
+	}
+	y := p - 0.5
+	if math.Abs(y) < 0.42 {
+		r := y * y
+		num := y * (((a[3]*r+a[2])*r+a[1])*r + a[0])
+		den := (((b[3]*r+b[2])*r+b[1])*r+b[0])*r + 1
+		return num / den
+	}
+	r := p
+	if y > 0 {
+		r = 1 - p
+	}
+	r = math.Log(-math.Log(r))
+	x := c[0]
+	pw := 1.0
+	for i := 1; i < 9; i++ {
+		pw *= r
+		x += c[i] * pw
+	}
+	if y < 0 {
+		return -x
+	}
+	return x
+}
+
+// Mean returns the arithmetic mean of xs (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Variance returns the unbiased sample variance of xs (0 for fewer
+// than two values).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Percentile returns the p-th percentile (p in [0, 100]) of xs using
+// linear interpolation between closest ranks. It panics on an empty
+// slice or out-of-range p. The input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic("stats: Percentile out of range")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// MinMax returns the extrema of xs. It panics on an empty slice.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// ArgMin returns the index of the smallest element of xs (first one on
+// ties). It panics on an empty slice.
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		panic("stats: ArgMin of empty slice")
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// RelDiff returns |a-b| / max(|a|, |b|), or 0 if both are zero. It is
+// the symmetric relative difference used by cross-validation tests.
+func RelDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}

@@ -1,0 +1,266 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestAccumulatorBasic(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d, want 8", a.N())
+	}
+	if got, want := a.Mean(), 5.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	// Unbiased variance of this classic dataset is 32/7.
+	if got, want := a.Variance(), 32.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v, want 2/9", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.StdErr() != 0 || a.N() != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+}
+
+func TestAccumulatorSingle(t *testing.T) {
+	var a Accumulator
+	a.Add(3.5)
+	if a.Mean() != 3.5 || a.Variance() != 0 {
+		t.Fatalf("single-value accumulator: mean=%v var=%v", a.Mean(), a.Variance())
+	}
+}
+
+func TestAccumulatorMergeMatchesSequential(t *testing.T) {
+	r := rng.New(1)
+	var whole, left, right Accumulator
+	for i := 0; i < 1000; i++ {
+		x := r.Normal(3, 2)
+		whole.Add(x)
+		if i < 400 {
+			left.Add(x)
+		} else {
+			right.Add(x)
+		}
+	}
+	left.Merge(&right)
+	if left.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", left.N(), whole.N())
+	}
+	if RelDiff(left.Mean(), whole.Mean()) > 1e-12 {
+		t.Fatalf("merged mean = %v, want %v", left.Mean(), whole.Mean())
+	}
+	if RelDiff(left.Variance(), whole.Variance()) > 1e-10 {
+		t.Fatalf("merged variance = %v, want %v", left.Variance(), whole.Variance())
+	}
+	if left.Min() != whole.Min() || left.Max() != whole.Max() {
+		t.Fatal("merged min/max mismatch")
+	}
+}
+
+func TestMergeWithEmpty(t *testing.T) {
+	var a, b Accumulator
+	a.Add(1)
+	a.Add(2)
+	before := a.Mean()
+	a.Merge(&b) // merging empty is a no-op
+	if a.Mean() != before || a.N() != 2 {
+		t.Fatal("merge with empty changed accumulator")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 2 || b.Mean() != before {
+		t.Fatal("merge into empty did not copy")
+	}
+}
+
+func TestZQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.995, 2.575829},
+		{0.841344746, 1.0},
+		{0.025, -1.959964},
+	}
+	for _, c := range cases {
+		if got := ZQuantile(c.p); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("ZQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestZQuantileOutOfRange(t *testing.T) {
+	if !math.IsNaN(ZQuantile(0)) || !math.IsNaN(ZQuantile(1)) {
+		t.Fatal("ZQuantile at 0/1 should be NaN")
+	}
+}
+
+func TestZQuantileSymmetry(t *testing.T) {
+	f := func(raw float64) bool {
+		p := math.Mod(math.Abs(raw), 0.49)
+		if p == 0 {
+			p = 0.1
+		}
+		return math.Abs(ZQuantile(0.5+p)+ZQuantile(0.5-p)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCICoverageSanity(t *testing.T) {
+	// For normal data the 95% CI half-width should be ~1.96*sd/sqrt(n).
+	r := rng.New(5)
+	var a Accumulator
+	for i := 0; i < 10000; i++ {
+		a.Add(r.Normal(0, 1))
+	}
+	want := 1.959964 * a.StdDev() / math.Sqrt(10000)
+	if RelDiff(a.CI(0.95), want) > 1e-6 {
+		t.Fatalf("CI = %v, want %v", a.CI(0.95), want)
+	}
+}
+
+func TestMeanSumVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if Sum(xs) != 10 {
+		t.Fatalf("Sum = %v", Sum(xs))
+	}
+	if got, want := Variance(xs), 5.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance(xs[:1]) != 0 {
+		t.Fatal("degenerate inputs should yield 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	if got := Percentile(xs, 0); got != 15 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 50 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := Median(xs); got != 35 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 20 {
+		t.Fatalf("P25 = %v", got)
+	}
+	// Interpolation between ranks.
+	if got, want := Percentile([]float64{1, 2}, 50), 1.5; got != want {
+		t.Fatalf("P50 of {1,2} = %v, want %v", got, want)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMinMaxArgMin(t *testing.T) {
+	xs := []float64{3, -1, 4, -1, 5}
+	min, max := MinMax(xs)
+	if min != -1 || max != 5 {
+		t.Fatalf("MinMax = %v, %v", min, max)
+	}
+	if got := ArgMin(xs); got != 1 {
+		t.Fatalf("ArgMin = %d, want 1 (first of ties)", got)
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	if RelDiff(0, 0) != 0 {
+		t.Fatal("RelDiff(0,0) != 0")
+	}
+	if got := RelDiff(1, 2); got != 0.5 {
+		t.Fatalf("RelDiff(1,2) = %v", got)
+	}
+	if got := RelDiff(2, 1); got != 0.5 {
+		t.Fatalf("RelDiff(2,1) = %v (should be symmetric)", got)
+	}
+}
+
+// Property: the accumulator mean always lies within [min, max].
+func TestAccumulatorMeanWithinBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		var a Accumulator
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Keep magnitudes physical; near-MaxFloat64 inputs
+			// overflow any finite-precision moment computation.
+			a.Add(math.Mod(x, 1e12))
+		}
+		if a.N() > 0 {
+			ok = a.Mean() >= a.Min()-1e-9 && a.Mean() <= a.Max()+1e-9
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging in either order gives identical moments.
+func TestMergeCommutative(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		var a1, b1, a2, b2 Accumulator
+		for i := 0; i < 100; i++ {
+			x := r.Uniform(-10, 10)
+			if i%3 == 0 {
+				a1.Add(x)
+				a2.Add(x)
+			} else {
+				b1.Add(x)
+				b2.Add(x)
+			}
+		}
+		a1.Merge(&b1)
+		b2.Merge(&a2)
+		return RelDiff(a1.Mean(), b2.Mean()) < 1e-12 &&
+			RelDiff(a1.Variance(), b2.Variance()) < 1e-9 &&
+			a1.N() == b2.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package trace renders simulator event timelines for humans: an
+// ASCII Gantt chart of one fault-injected execution, a per-kind time
+// budget, and a CSV export. It turns the simulator from a pure
+// statistics engine into a debugging and teaching tool: one can *see*
+// where a schedule loses time to failures, recoveries and
+// re-executions.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/dag"
+	"repro/internal/simulator"
+)
+
+// Collect runs the simulator once against the schedule's platform and
+// returns the recorded events plus the run result. The caller
+// provides a configured simulator (failure law, RNG).
+func Collect(sim *simulator.Simulator, run func() simulator.Result) ([]simulator.Event, simulator.Result) {
+	var events []simulator.Event
+	sim.SetRecorder(func(e simulator.Event) { events = append(events, e) })
+	defer sim.SetRecorder(nil)
+	res := run()
+	return events, res
+}
+
+// Budget sums the time spent per event kind.
+func Budget(events []simulator.Event) map[simulator.EventKind]float64 {
+	out := make(map[simulator.EventKind]float64)
+	for _, e := range events {
+		out[e.Kind] += e.Duration()
+	}
+	return out
+}
+
+// BudgetTable renders the per-kind budget as an aligned table sorted
+// by descending share.
+func BudgetTable(events []simulator.Event) string {
+	b := Budget(events)
+	total := 0.0
+	for _, v := range b {
+		total += v
+	}
+	type row struct {
+		kind simulator.EventKind
+		dur  float64
+	}
+	rows := make([]row, 0, len(b))
+	for k, v := range b {
+		rows = append(rows, row{k, v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].dur != rows[j].dur {
+			return rows[i].dur > rows[j].dur
+		}
+		return rows[i].kind < rows[j].kind
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %12s %7s\n", "kind", "seconds", "share")
+	for _, r := range rows {
+		share := 0.0
+		if total > 0 {
+			share = 100 * r.dur / total
+		}
+		fmt.Fprintf(&sb, "%-10s %12.2f %6.1f%%\n", r.kind, r.dur, share)
+	}
+	fmt.Fprintf(&sb, "%-10s %12.2f\n", "total", total)
+	return sb.String()
+}
+
+// ganttGlyphs maps kinds to chart characters.
+var ganttGlyphs = map[simulator.EventKind]byte{
+	simulator.EventExec:     '#',
+	simulator.EventRecovery: 'r',
+	simulator.EventRedo:     '+',
+	simulator.EventWasted:   'x',
+	simulator.EventDowntime: '!',
+}
+
+// Gantt renders a single-row ASCII timeline of the run, `width`
+// characters wide; each cell shows the kind that dominates its time
+// slice. A legend line follows.
+func Gantt(events []simulator.Event, width int) string {
+	if len(events) == 0 || width <= 0 {
+		return "(empty timeline)\n"
+	}
+	end := events[len(events)-1].End
+	if end <= 0 {
+		return "(empty timeline)\n"
+	}
+	// Per-cell dominant kind by accumulated overlap.
+	type cell map[simulator.EventKind]float64
+	cells := make([]cell, width)
+	for i := range cells {
+		cells[i] = make(cell)
+	}
+	scale := float64(width) / end
+	for _, e := range events {
+		lo := int(e.Start * scale)
+		hi := int(e.End * scale)
+		if hi >= width {
+			hi = width - 1
+		}
+		for c := lo; c <= hi; c++ {
+			cellLo := float64(c) / scale
+			cellHi := float64(c+1) / scale
+			overlap := minF(e.End, cellHi) - maxF(e.Start, cellLo)
+			if overlap > 0 {
+				cells[c][e.Kind] += overlap
+			}
+		}
+	}
+	line := make([]byte, width)
+	for i, c := range cells {
+		best := simulator.EventExec
+		bestV := -1.0
+		for k, v := range c {
+			if v > bestV || (v == bestV && k > best) {
+				best, bestV = k, v
+			}
+		}
+		if bestV < 0 {
+			line[i] = '.'
+		} else {
+			line[i] = ganttGlyphs[best]
+		}
+	}
+	return fmt.Sprintf("|%s|  0 .. %.1fs\nlegend: #=exec r=recovery +=redo x=wasted !=downtime\n",
+		line, end)
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WriteCSV exports the raw events (start, end, kind, task name).
+func WriteCSV(w io.Writer, g *dag.Graph, events []simulator.Event) error {
+	if _, err := io.WriteString(w, "start,end,kind,task\n"); err != nil {
+		return err
+	}
+	for _, e := range events {
+		name := ""
+		if e.Task >= 0 && e.Task < g.N() {
+			name = g.Name(e.Task)
+		}
+		if _, err := fmt.Fprintf(w, "%.6f,%.6f,%s,%s\n", e.Start, e.End, e.Kind, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Validate checks timeline invariants: events are contiguous,
+// non-overlapping, start at 0 and cover the whole makespan. The
+// simulator tests use it to certify the recorder.
+func Validate(events []simulator.Event, makespan float64) error {
+	if len(events) == 0 {
+		if makespan == 0 {
+			return nil
+		}
+		return fmt.Errorf("trace: empty timeline for makespan %v", makespan)
+	}
+	const eps = 1e-9
+	if events[0].Start > eps {
+		return fmt.Errorf("trace: timeline starts at %v, not 0", events[0].Start)
+	}
+	for i, e := range events {
+		if e.End < e.Start-eps {
+			return fmt.Errorf("trace: event %d ends before it starts", i)
+		}
+		if i > 0 && e.Start < events[i-1].End-eps {
+			return fmt.Errorf("trace: event %d overlaps its predecessor", i)
+		}
+		if i > 0 && e.Start > events[i-1].End+eps {
+			return fmt.Errorf("trace: gap before event %d (%v → %v)", i, events[i-1].End, e.Start)
+		}
+	}
+	if last := events[len(events)-1].End; last < makespan-eps || last > makespan+eps {
+		return fmt.Errorf("trace: timeline ends at %v, makespan is %v", last, makespan)
+	}
+	return nil
+}

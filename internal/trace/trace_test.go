@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/rng"
+	"repro/internal/simulator"
+)
+
+func tracedRun(t *testing.T, lambda float64, seed uint64) (*dag.Graph, []simulator.Event, simulator.Result) {
+	t.Helper()
+	g := dag.Figure1([]float64{8, 12, 6, 15, 9, 11, 7, 10}, dag.UniformCosts(0.1))
+	s, err := core.NewSchedule(g, dag.Figure1Linearization(), dag.Figure1Checkpoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simulator.New(failure.Platform{Lambda: lambda, Downtime: 2}, rng.New(seed))
+	events, res := Collect(sim, func() simulator.Result { return sim.Run(s) })
+	return g, events, res
+}
+
+func TestTimelineInvariants(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		_, events, res := tracedRun(t, 0.02, seed)
+		if err := Validate(events, res.Makespan); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestFailureFreeTraceIsAllExec(t *testing.T) {
+	_, events, res := tracedRun(t, 0, 1)
+	if res.Failures != 0 {
+		t.Fatal("unexpected failures at λ=0")
+	}
+	for _, e := range events {
+		if e.Kind != simulator.EventExec {
+			t.Fatalf("failure-free run produced %v event", e.Kind)
+		}
+	}
+	if len(events) != 8 {
+		t.Fatalf("8 tasks should yield 8 exec events, got %d", len(events))
+	}
+}
+
+func TestFailedRunContainsRecoveryEvents(t *testing.T) {
+	// Find a seed whose run has failures; its trace must contain
+	// wasted and downtime segments, and the budget must add up to
+	// the makespan.
+	for seed := uint64(1); seed <= 200; seed++ {
+		_, events, res := tracedRun(t, 0.05, seed)
+		if res.Failures == 0 {
+			continue
+		}
+		b := Budget(events)
+		if b[simulator.EventWasted] <= 0 || b[simulator.EventDowntime] <= 0 {
+			t.Fatalf("seed %d: failure run lacks wasted/downtime: %v", seed, b)
+		}
+		total := 0.0
+		for _, v := range b {
+			total += v
+		}
+		if diff := total - res.Makespan; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("budget %v != makespan %v", total, res.Makespan)
+		}
+		return
+	}
+	t.Fatal("no failing run found in 200 seeds at λ=0.05")
+}
+
+func TestBudgetTable(t *testing.T) {
+	_, events, _ := tracedRun(t, 0.05, 7)
+	out := BudgetTable(events)
+	for _, frag := range []string{"kind", "exec", "total", "%"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("budget table missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestGantt(t *testing.T) {
+	_, events, _ := tracedRun(t, 0.03, 3)
+	out := Gantt(events, 60)
+	if !strings.Contains(out, "legend") {
+		t.Fatalf("no legend:\n%s", out)
+	}
+	bar := out[strings.Index(out, "|")+1 : strings.LastIndex(out[:strings.Index(out, "\n")], "|")]
+	if len(bar) != 60 {
+		t.Fatalf("bar width %d, want 60", len(bar))
+	}
+	if !strings.Contains(bar, "#") {
+		t.Fatalf("no exec cells in gantt: %s", bar)
+	}
+	if Gantt(nil, 60) != "(empty timeline)\n" {
+		t.Fatal("empty timeline not handled")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	g, events, _ := tracedRun(t, 0.02, 5)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, g, events); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "start,end,kind,task" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != len(events)+1 {
+		t.Fatalf("%d lines for %d events", len(lines), len(events))
+	}
+	if !strings.Contains(buf.String(), "T0") {
+		t.Fatal("task names missing from CSV")
+	}
+}
+
+func TestValidateCatchesBadTimelines(t *testing.T) {
+	ev := func(k simulator.EventKind, s, e float64) simulator.Event {
+		return simulator.Event{Kind: k, Task: 0, Start: s, End: e}
+	}
+	if err := Validate([]simulator.Event{ev(simulator.EventExec, 1, 2)}, 2); err == nil {
+		t.Fatal("late start accepted")
+	}
+	if err := Validate([]simulator.Event{ev(simulator.EventExec, 0, 2), ev(simulator.EventExec, 1, 3)}, 3); err == nil {
+		t.Fatal("overlap accepted")
+	}
+	if err := Validate([]simulator.Event{ev(simulator.EventExec, 0, 1), ev(simulator.EventExec, 2, 3)}, 3); err == nil {
+		t.Fatal("gap accepted")
+	}
+	if err := Validate([]simulator.Event{ev(simulator.EventExec, 0, 1)}, 5); err == nil {
+		t.Fatal("short timeline accepted")
+	}
+	if err := Validate(nil, 0); err != nil {
+		t.Fatal("empty/zero timeline rejected")
+	}
+}
+
+// The recorder must not change the simulation itself.
+func TestRecorderDoesNotPerturbRun(t *testing.T) {
+	g := dag.Figure1(nil, dag.UniformCosts(0.1))
+	s, err := core.NewSchedule(g, dag.Figure1Linearization(), dag.Figure1Checkpoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := failure.Platform{Lambda: 0.05, Downtime: 1}
+	plain := simulator.New(p, rng.New(11)).Run(s)
+	traced := simulator.New(p, rng.New(11))
+	traced.SetRecorder(func(simulator.Event) {})
+	if got := traced.Run(s); got != plain {
+		t.Fatalf("recorder changed the run: %+v vs %+v", got, plain)
+	}
+}

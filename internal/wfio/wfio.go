@@ -1,0 +1,179 @@
+// Package wfio serializes workflows and schedules in a small
+// line-oriented text format, so the command-line tools can exchange
+// DAGs with users and with each other:
+//
+//	# comment
+//	task <name> <weight> [ckptCost] [recCost]
+//	edge <fromName> <toName>
+//	order <name> <name> ...          (optional; may repeat/continue)
+//	ckpt <name> <name> ...           (optional; may repeat)
+//
+// Task names must be unique. Orders and checkpoint sets reference
+// tasks by name. Missing ckptCost/recCost default to zero.
+package wfio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+)
+
+// File is a parsed workflow file: the DAG plus an optional schedule.
+type File struct {
+	Graph *dag.Graph
+	Order []int  // nil if the file carries no order
+	Ckpt  []bool // nil if the file carries no ckpt line
+	Names []string
+}
+
+// Parse reads the format from r.
+func Parse(r io.Reader) (*File, error) {
+	g := dag.New()
+	byName := map[string]int{}
+	var names []string
+	var orderNames []string
+	var ckptNames []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "task":
+			if len(fields) < 3 || len(fields) > 5 {
+				return nil, fmt.Errorf("wfio: line %d: task needs name and 1-3 numbers", lineNo)
+			}
+			name := fields[1]
+			if _, dup := byName[name]; dup {
+				return nil, fmt.Errorf("wfio: line %d: duplicate task %q", lineNo, name)
+			}
+			nums := make([]float64, 3)
+			for i := 2; i < len(fields); i++ {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("wfio: line %d: bad number %q: %v", lineNo, fields[i], err)
+				}
+				nums[i-2] = v
+			}
+			id := g.AddTask(dag.Task{Name: name, Weight: nums[0], CkptCost: nums[1], RecCost: nums[2]})
+			byName[name] = id
+			names = append(names, name)
+		case "edge":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("wfio: line %d: edge needs two names", lineNo)
+			}
+			from, ok := byName[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("wfio: line %d: unknown task %q", lineNo, fields[1])
+			}
+			to, ok := byName[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("wfio: line %d: unknown task %q", lineNo, fields[2])
+			}
+			if err := g.AddEdge(from, to); err != nil {
+				return nil, fmt.Errorf("wfio: line %d: %v", lineNo, err)
+			}
+		case "order":
+			orderNames = append(orderNames, fields[1:]...)
+		case "ckpt":
+			ckptNames = append(ckptNames, fields[1:]...)
+		default:
+			return nil, fmt.Errorf("wfio: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g.N() == 0 {
+		return nil, fmt.Errorf("wfio: no tasks")
+	}
+	f := &File{Graph: g, Names: names}
+	if len(orderNames) > 0 {
+		f.Order = make([]int, 0, len(orderNames))
+		for _, n := range orderNames {
+			id, ok := byName[n]
+			if !ok {
+				return nil, fmt.Errorf("wfio: order references unknown task %q", n)
+			}
+			f.Order = append(f.Order, id)
+		}
+	}
+	if len(ckptNames) > 0 {
+		f.Ckpt = make([]bool, g.N())
+		for _, n := range ckptNames {
+			id, ok := byName[n]
+			if !ok {
+				return nil, fmt.Errorf("wfio: ckpt references unknown task %q", n)
+			}
+			f.Ckpt[id] = true
+		}
+	}
+	return f, nil
+}
+
+// Schedule assembles a validated core.Schedule from the file,
+// requiring that it carries an order (the ckpt set defaults to
+// empty).
+func (f *File) Schedule() (*core.Schedule, error) {
+	if f.Order == nil {
+		return nil, fmt.Errorf("wfio: file carries no schedule order")
+	}
+	ck := f.Ckpt
+	if ck == nil {
+		ck = make([]bool, f.Graph.N())
+	}
+	return core.NewSchedule(f.Graph, f.Order, ck)
+}
+
+// Write serializes the graph (and optional schedule) to w in the
+// package format.
+func Write(w io.Writer, g *dag.Graph, order []int, ckpt []bool) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < g.N(); i++ {
+		t := g.Task(i)
+		if _, err := fmt.Fprintf(bw, "task %s %g %g %g\n", g.Name(i), t.Weight, t.CkptCost, t.RecCost); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < g.N(); i++ {
+		for _, j := range g.Succs(i) {
+			if _, err := fmt.Fprintf(bw, "edge %s %s\n", g.Name(i), g.Name(j)); err != nil {
+				return err
+			}
+		}
+	}
+	if order != nil {
+		names := make([]string, len(order))
+		for i, id := range order {
+			names[i] = g.Name(id)
+		}
+		if _, err := fmt.Fprintf(bw, "order %s\n", strings.Join(names, " ")); err != nil {
+			return err
+		}
+	}
+	if ckpt != nil {
+		var names []string
+		for id, b := range ckpt {
+			if b {
+				names = append(names, g.Name(id))
+			}
+		}
+		if len(names) > 0 {
+			if _, err := fmt.Fprintf(bw, "ckpt %s\n", strings.Join(names, " ")); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

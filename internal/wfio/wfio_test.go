@@ -1,0 +1,147 @@
+package wfio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/pwg"
+)
+
+const sample = `
+# Figure-1-like example
+task A 10 1 1
+task B 20
+task C 5 0.5 0.5
+edge A B
+edge A C
+edge B C
+order A B C
+ckpt B
+`
+
+func TestParseBasic(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Graph.N() != 3 || f.Graph.M() != 3 {
+		t.Fatalf("n=%d m=%d", f.Graph.N(), f.Graph.M())
+	}
+	if f.Graph.Weight(0) != 10 || f.Graph.CkptCost(0) != 1 {
+		t.Fatal("task A fields wrong")
+	}
+	if f.Graph.CkptCost(1) != 0 {
+		t.Fatal("missing costs should default to 0")
+	}
+	s, err := f.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Ckpt[1] || s.Ckpt[0] || s.Ckpt[2] {
+		t.Fatalf("ckpt mask = %v", s.Ckpt)
+	}
+	if s.Order[0] != 0 || s.Order[2] != 2 {
+		t.Fatalf("order = %v", s.Order)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"dup task":       "task A 1\ntask A 2\n",
+		"bad number":     "task A x\n",
+		"unknown edge":   "task A 1\nedge A B\n",
+		"self loop":      "task A 1\nedge A A\n",
+		"bad directive":  "task A 1\nfrob A\n",
+		"order unknown":  "task A 1\norder B\n",
+		"ckpt unknown":   "task A 1\nckpt B\n",
+		"task no weight": "task A\n",
+		"edge arity":     "task A 1\nedge A\n",
+	}
+	for name, input := range cases {
+		if _, err := Parse(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestScheduleRequiresOrder(t *testing.T) {
+	f, err := Parse(strings.NewReader("task A 1\ntask B 2\nedge A B\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Schedule(); err == nil {
+		t.Fatal("missing order accepted")
+	}
+}
+
+func TestScheduleValidatesOrder(t *testing.T) {
+	f, err := Parse(strings.NewReader("task A 1\ntask B 2\nedge A B\norder B A\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Schedule(); err == nil {
+		t.Fatal("dependency-violating order accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	g, err := pwg.Generate(pwg.Montage, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := make([]bool, g.N())
+	for i := 0; i < g.N(); i += 3 {
+		ckpt[i] = true
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, g, order, ckpt); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Graph.N() != g.N() || f.Graph.M() != g.M() {
+		t.Fatalf("round trip lost structure: %d/%d vs %d/%d",
+			f.Graph.N(), f.Graph.M(), g.N(), g.M())
+	}
+	s, err := f.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ckpt {
+		// Task IDs survive because Write emits tasks in ID order.
+		if s.Ckpt[i] != ckpt[i] {
+			t.Fatalf("ckpt mask diverged at %d", i)
+		}
+		if f.Graph.Weight(i) != g.Weight(i) {
+			t.Fatalf("weight diverged at %d", i)
+		}
+	}
+}
+
+func TestRoundTripFigure1(t *testing.T) {
+	g := dag.Figure1(nil, dag.UniformCosts(0.1))
+	var buf bytes.Buffer
+	if err := Write(&buf, g, dag.Figure1Linearization(), dag.Figure1Checkpoints()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := f.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumCheckpointed() != 2 {
+		t.Fatalf("checkpoints = %d", s.NumCheckpointed())
+	}
+}
