@@ -1,0 +1,33 @@
+# Local mirror of the CI gates (.github/workflows/ci.yml): run
+# `make check` before pushing to see exactly what CI will see.
+
+GO ?= go
+
+.PHONY: build test race bench lint fmt vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: compile-and-run coverage, not timing.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint = the non-test static gates CI enforces.
+lint: vet
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# fmt rewrites instead of checking.
+fmt:
+	gofmt -w .
+
+check: build lint race bench

@@ -19,6 +19,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/experiments"
 	"repro/internal/failure"
+	"repro/internal/mc"
 	"repro/internal/pwg"
 	"repro/internal/refine"
 	"repro/internal/rng"
@@ -156,6 +157,69 @@ func BenchmarkSimulator(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if r := sim.Run(s); r.Makespan <= 0 {
 			b.Fatal("bad run")
+		}
+	}
+}
+
+// benchMCTrials sizes the Monte-Carlo engine benchmarks: a
+// representative cross-validation batch.
+const benchMCTrials = 2000
+
+// BenchmarkMCSerialBatch is the pre-engine baseline: the serial
+// compatibility wrapper running benchMCTrials trials on one core.
+func BenchmarkMCSerialBatch(b *testing.B) {
+	s := benchSchedule(b, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if acc, _ := simulator.Batch(s, plat, 3, benchMCTrials); acc.N() != benchMCTrials {
+			b.Fatal("bad batch")
+		}
+	}
+}
+
+// BenchmarkMCParallel measures the sharded Monte-Carlo engine at the
+// same trial count across worker counts; workers=1 quantifies engine
+// overhead against BenchmarkMCSerialBatch, higher counts the
+// multi-core speedup.
+func BenchmarkMCParallel(b *testing.B) {
+	s := benchSchedule(b, 200)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := mc.Config{
+				Trials:  benchMCTrials,
+				Seed:    3,
+				Workers: workers,
+				Factory: simulator.Factory(),
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := mc.Run(s, plat, cfg)
+				if err != nil || res.Makespan.N() != benchMCTrials {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMCBatchedJobs measures the multi-schedule path: all six
+// checkpointing strategies of one figure point evaluated in a single
+// pool pass.
+func BenchmarkMCBatchedJobs(b *testing.B) {
+	jobs := make([]mc.Job, 6)
+	for i := range jobs {
+		s := benchSchedule(b, 100+10*i)
+		jobs[i] = mc.Job{Schedule: s, Plat: plat}
+	}
+	cfg := mc.Config{Trials: 500, Seed: 7, Factory: simulator.Factory()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mc.RunJobs(jobs, cfg)
+		if err != nil || len(res) != 6 {
+			b.Fatal(err)
 		}
 	}
 }

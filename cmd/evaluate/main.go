@@ -19,9 +19,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/failure"
+	"repro/internal/mc"
 	"repro/internal/rng"
 	"repro/internal/simulator"
-	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/wfio"
 )
@@ -31,18 +31,19 @@ func main() {
 		in        = flag.String("in", "", "workflow file with order (and optional ckpt) lines")
 		lambda    = flag.Float64("lambda", 1e-3, "failure rate")
 		downtime  = flag.Float64("downtime", 0, "downtime after each failure")
-		mc        = flag.Int("mc", 0, "Monte-Carlo trials (0 = analytic only)")
+		mcTrials  = flag.Int("mc", 0, "Monte-Carlo trials (0 = analytic only)")
+		workers   = flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = all cores)")
 		seed      = flag.Uint64("seed", 1, "Monte-Carlo seed")
 		showTrace = flag.Bool("trace", false, "print one traced run (gantt + time budget)")
 	)
 	flag.Parse()
-	if err := run(*in, *lambda, *downtime, *mc, *seed, *showTrace); err != nil {
+	if err := run(*in, *lambda, *downtime, *mcTrials, *workers, *seed, *showTrace); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, lambda, downtime float64, mc int, seed uint64, showTrace bool) error {
+func run(in string, lambda, downtime float64, mcTrials, workers int, seed uint64, showTrace bool) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -71,22 +72,22 @@ func run(in string, lambda, downtime float64, mc int, seed uint64, showTrace boo
 	fmt.Printf("lower bound over all schedules: %.6g (gap ceiling %.2f%%)\n",
 		core.LowerBound(s.Graph, plat), 100*core.GapUpperBound(s.Graph, plat, v))
 
-	if mc > 0 {
-		sim := simulator.New(plat, rng.New(seed))
-		samples := make([]float64, mc)
-		var acc stats.Accumulator
-		totFail := 0
-		for i := 0; i < mc; i++ {
-			r := sim.Run(s)
-			samples[i] = r.Makespan
-			acc.Add(r.Makespan)
-			totFail += r.Failures
+	if mcTrials > 0 {
+		res, err := mc.Run(s, plat, mc.Config{
+			Trials:      mcTrials,
+			Seed:        seed,
+			Workers:     workers,
+			Percentiles: []float64{5, 50, 95, 99},
+			Factory:     simulator.Factory(),
+		})
+		if err != nil {
+			return err
 		}
+		acc := res.Makespan
 		fmt.Printf("Monte-Carlo (%d trials): mean=%.6g ±%.3g (99%% CI), avg failures/run=%.2f\n",
-			mc, acc.Mean(), acc.CI(0.99), float64(totFail)/float64(mc))
+			mcTrials, acc.Mean(), acc.CI(0.99), res.AvgFailures())
 		fmt.Printf("makespan distribution: p5=%.5g median=%.5g p95=%.5g p99=%.5g max=%.5g\n",
-			stats.Percentile(samples, 5), stats.Median(samples),
-			stats.Percentile(samples, 95), stats.Percentile(samples, 99), acc.Max())
+			res.Percentiles[0], res.Percentiles[1], res.Percentiles[2], res.Percentiles[3], acc.Max())
 	}
 
 	if showTrace {

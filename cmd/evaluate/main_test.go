@@ -45,7 +45,7 @@ ckpt b
 
 func TestEvaluateAnalyticAndMC(t *testing.T) {
 	p := writeWF(t, schedFile)
-	out, err := capture(t, func() error { return run(p, 1e-3, 1, 2000, 7, true) })
+	out, err := capture(t, func() error { return run(p, 1e-3, 1, 2000, 2, 7, true) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestEvaluateAnalyticAndMC(t *testing.T) {
 
 func TestEvaluateAnalyticOnly(t *testing.T) {
 	p := writeWF(t, schedFile)
-	out, err := capture(t, func() error { return run(p, 1e-3, 0, 0, 7, false) })
+	out, err := capture(t, func() error { return run(p, 1e-3, 0, 0, 0, 7, false) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,22 +68,22 @@ func TestEvaluateAnalyticOnly(t *testing.T) {
 }
 
 func TestEvaluateErrors(t *testing.T) {
-	if _, err := capture(t, func() error { return run("", 1e-3, 0, 0, 1, false) }); err == nil {
+	if _, err := capture(t, func() error { return run("", 1e-3, 0, 0, 0, 1, false) }); err == nil {
 		t.Fatal("missing -in accepted")
 	}
-	if _, err := capture(t, func() error { return run("/no/such.wf", 1e-3, 0, 0, 1, false) }); err == nil {
+	if _, err := capture(t, func() error { return run("/no/such.wf", 1e-3, 0, 0, 0, 1, false) }); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	noOrder := writeWF(t, "task a 1\ntask b 2\nedge a b\n")
-	if _, err := capture(t, func() error { return run(noOrder, 1e-3, 0, 0, 1, false) }); err == nil {
+	if _, err := capture(t, func() error { return run(noOrder, 1e-3, 0, 0, 0, 1, false) }); err == nil {
 		t.Fatal("schedule without order accepted")
 	}
 	badOrder := writeWF(t, "task a 1\ntask b 2\nedge a b\norder b a\n")
-	if _, err := capture(t, func() error { return run(badOrder, 1e-3, 0, 0, 1, false) }); err == nil {
+	if _, err := capture(t, func() error { return run(badOrder, 1e-3, 0, 0, 0, 1, false) }); err == nil {
 		t.Fatal("invalid order accepted")
 	}
 	p := writeWF(t, schedFile)
-	if _, err := capture(t, func() error { return run(p, -1, 0, 0, 1, false) }); err == nil {
+	if _, err := capture(t, func() error { return run(p, -1, 0, 0, 0, 1, false) }); err == nil {
 		t.Fatal("negative λ accepted")
 	}
 }

@@ -13,6 +13,8 @@
 //	-quick     coarse checkpoint-count grid (~60 N values) and sparse
 //	           size grid {50,100,200,400,700}; minutes instead of hours
 //	-full      the paper's exhaustive sweep (N = 1..n−1, sizes 50..700)
+//	-mc N      also cross-validate each figure by N Monte-Carlo trials
+//	           per schedule through the parallel sharded engine
 //	-out DIR   also write one CSV per figure into DIR
 //	-seed S    master seed (default 1)
 //	-workers W parallelism (default: all cores)
@@ -26,6 +28,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -37,6 +41,7 @@ func main() {
 		out     = flag.String("out", "", "directory for CSV output")
 		seed    = flag.Uint64("seed", 1, "master seed")
 		workers = flag.Int("workers", 0, "worker goroutines (0 = all cores)")
+		mcVal   = flag.Int("mc", 0, "Monte-Carlo validation trials per schedule (0 = off)")
 	)
 	flag.Parse()
 
@@ -65,21 +70,49 @@ func main() {
 			os.Exit(1)
 		}
 		start := time.Now()
-		fig, err := experiments.Run(spec, cfg)
+		// With -mc the schedules are built once and both the analytic
+		// figure and its Monte-Carlo validation come out of one pass.
+		var fig, vfig *report.Figure
+		if *mcVal > 0 {
+			fig, vfig, err = experiments.ValidateMC(spec, cfg, *mcVal)
+		} else {
+			fig, err = experiments.Run(spec, cfg)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Println(fig.Table())
 		fmt.Printf("best per x: %s\n", strings.Join(fig.BestSeries(), " "))
+		if vfig != nil {
+			fmt.Println(vfig.Table())
+			fmt.Printf("max |MC-analytic|/analytic: %.4g%%\n", 100*maxRelDiff(fig, vfig))
+		}
 		fmt.Printf("(%s in %v)\n\n", spec.ID, time.Since(start).Round(time.Millisecond))
-		if *out != "" {
-			if err := fig.WriteCSV(*out); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+		for _, f := range []*report.Figure{fig, vfig} {
+			if *out != "" && f != nil {
+				if err := f.WriteCSV(*out); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
 			}
 		}
 	}
+}
+
+// maxRelDiff returns the largest relative deviation between the
+// analytic figure and its Monte-Carlo validation, over all series and
+// x-points.
+func maxRelDiff(analytic, mc *report.Figure) float64 {
+	worst := 0.0
+	for i := range analytic.Series {
+		for j := range analytic.Series[i].Y {
+			if d := stats.RelDiff(analytic.Series[i].Y[j], mc.Series[i].Y[j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
 }
 
 // buildConfig maps the -quick/-full flags onto an experiment config.

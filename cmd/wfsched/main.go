@@ -24,6 +24,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/dax"
 	"repro/internal/failure"
+	"repro/internal/mc"
 	"repro/internal/pwg"
 	"repro/internal/sched"
 	"repro/internal/simulator"
@@ -41,18 +42,19 @@ func main() {
 		cost      = flag.String("cost", "0.1w", "checkpoint cost model: 0.1w|0.01w|<k>s|keep")
 		heuristic = flag.String("heuristic", "all", "heuristic name (e.g. DF-CkptW) or 'all'")
 		grid      = flag.Int("grid", 0, "N-search grid (0 = exhaustive)")
-		mc        = flag.Int("mc", 0, "Monte-Carlo trials to cross-check the best schedule")
+		mcTrials  = flag.Int("mc", 0, "Monte-Carlo trials to cross-check the best schedule")
+		workers   = flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = all cores)")
 		dot       = flag.String("dot", "", "write the best schedule's DAG as DOT to this file")
 	)
 	flag.Parse()
-	if err := run(*workflow, *n, *seed, *in, *lambda, *downtime, *cost, *heuristic, *grid, *mc, *dot); err != nil {
+	if err := run(*workflow, *n, *seed, *in, *lambda, *downtime, *cost, *heuristic, *grid, *mcTrials, *workers, *dot); err != nil {
 		fmt.Fprintln(os.Stderr, "wfsched:", err)
 		os.Exit(1)
 	}
 }
 
 func run(workflow string, n int, seed uint64, in string, lambda, downtime float64,
-	cost, heuristic string, grid, mc int, dot string) error {
+	cost, heuristic string, grid, mcTrials, workers int, dot string) error {
 	var g *dag.Graph
 	if in != "" {
 		f, err := os.Open(in)
@@ -117,10 +119,22 @@ func run(workflow string, n int, seed uint64, in string, lambda, downtime float6
 	}
 
 	best := results[0]
-	if mc > 0 {
-		acc, avgFail := simulator.Batch(best.Schedule, plat, seed+99, mc)
+	if mcTrials > 0 {
+		res, err := mc.Run(best.Schedule, plat, mc.Config{
+			Trials:      mcTrials,
+			Seed:        seed + 99,
+			Workers:     workers,
+			Percentiles: []float64{5, 50, 95, 99},
+			Factory:     simulator.Factory(),
+		})
+		if err != nil {
+			return err
+		}
+		acc := res.Makespan
 		fmt.Printf("\nMonte-Carlo (%d trials) of %s: mean=%.4f ±%.4f (99%% CI), analytic=%.4f, avg failures/run=%.2f\n",
-			mc, best.Name, acc.Mean(), acc.CI(0.99), best.Expected, avgFail)
+			mcTrials, best.Name, acc.Mean(), acc.CI(0.99), best.Expected, res.AvgFailures())
+		fmt.Printf("makespan distribution: p5=%.5g median=%.5g p95=%.5g p99=%.5g max=%.5g\n",
+			res.Percentiles[0], res.Percentiles[1], res.Percentiles[2], res.Percentiles[3], acc.Max())
 	}
 	if dot != "" {
 		if err := os.WriteFile(dot, []byte(g.DOT(best.Name, best.Schedule.Ckpt)), 0o644); err != nil {

@@ -29,7 +29,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 
 func TestRunGeneratedAllHeuristics(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("CyberShake", 50, 1, "", 0, 0, "0.1w", "all", 10, 0, "")
+		return run("CyberShake", 50, 1, "", 0, 0, "0.1w", "all", 10, 0, 0, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -43,7 +43,7 @@ func TestRunGeneratedAllHeuristics(t *testing.T) {
 
 func TestRunSingleHeuristicWithMC(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("Montage", 40, 2, "", 1e-3, 1, "0.01w", "DF-CkptW", 8, 500, "")
+		return run("Montage", 40, 2, "", 1e-3, 1, "0.01w", "DF-CkptW", 8, 500, 2, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -65,7 +65,7 @@ func TestRunFromFileAndDOT(t *testing.T) {
 	}
 	dot := filepath.Join(dir, "g.dot")
 	out, err := capture(t, func() error {
-		return run("", 0, 1, wf, 5e-3, 0, "keep", "all", 0, 0, dot)
+		return run("", 0, 1, wf, 5e-3, 0, "keep", "all", 0, 0, 0, dot)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -94,7 +94,7 @@ func TestRunFromDAXFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := capture(t, func() error {
-		return run("", 0, 1, daxFile, 1e-3, 0, "0.1w", "DF-CkptW", 0, 0, "")
+		return run("", 0, 1, daxFile, 1e-3, 0, "0.1w", "DF-CkptW", 0, 0, 0, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -110,27 +110,27 @@ func TestRunErrors(t *testing.T) {
 		return err
 	}
 	if err := silent(func() error {
-		return run("Nope", 50, 1, "", 0, 0, "0.1w", "all", 0, 0, "")
+		return run("Nope", 50, 1, "", 0, 0, "0.1w", "all", 0, 0, 0, "")
 	}); err == nil {
 		t.Fatal("unknown workflow accepted")
 	}
 	if err := silent(func() error {
-		return run("Montage", 50, 1, "", 0, 0, "bogus", "all", 0, 0, "")
+		return run("Montage", 50, 1, "", 0, 0, "bogus", "all", 0, 0, 0, "")
 	}); err == nil {
 		t.Fatal("bad cost model accepted")
 	}
 	if err := silent(func() error {
-		return run("Montage", 50, 1, "", 0, 0, "0.1w", "XF-CkptQ", 0, 0, "")
+		return run("Montage", 50, 1, "", 0, 0, "0.1w", "XF-CkptQ", 0, 0, 0, "")
 	}); err == nil {
 		t.Fatal("unknown heuristic accepted")
 	}
 	if err := silent(func() error {
-		return run("Montage", 50, 1, "", -4, 0, "0.1w", "all", 0, 0, "")
+		return run("Montage", 50, 1, "", -4, 0, "0.1w", "all", 0, 0, 0, "")
 	}); err == nil {
 		t.Fatal("negative λ accepted")
 	}
 	if err := silent(func() error {
-		return run("", 0, 1, "/nonexistent/x.wf", 0, 0, "keep", "all", 0, 0, "")
+		return run("", 0, 1, "/nonexistent/x.wf", 0, 0, "keep", "all", 0, 0, 0, "")
 	}); err == nil {
 		t.Fatal("missing input file accepted")
 	}

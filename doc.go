@@ -8,15 +8,34 @@
 // chains (internal/fork, internal/join, internal/chains), the
 // NP-completeness reduction (internal/npc), the Section 5 heuristics
 // (internal/sched), Pegasus-like workflow generators (internal/pwg),
-// a Monte-Carlo fault-injection simulator (internal/simulator), and
-// the Section 6 experiment harness (internal/experiments).
+// a Monte-Carlo fault-injection simulator (internal/simulator), the
+// sharded parallel Monte-Carlo engine (internal/mc), and the
+// Section 6 experiment harness (internal/experiments).
 //
-// Binaries: cmd/experiments regenerates every figure of the paper;
+// # The Monte-Carlo engine
+//
+// internal/mc batches fault-injection trials across a worker pool:
+// trials are partitioned into fixed-size shards, shard k of job j
+// draws from the deterministic stream
+// rng.Stream(rng.StreamSeed(seed, j), k), and per-shard Welford
+// accumulators are merged exactly in shard order. The resulting
+// statistics (means, variances, percentiles, histograms) are
+// bit-identical for any worker count — the determinism contract is
+// (Seed, Trials, ShardSize), never Workers. The engine is generic
+// over a per-shard trial runner; internal/simulator provides
+// factories for the paper's blocking model, arbitrary inter-failure
+// laws (Weibull robustness studies) and non-blocking checkpointing,
+// and its Batch helper remains a serial single-stream compatibility
+// wrapper that reproduces the historical results bit for bit.
+//
+// Binaries: cmd/experiments regenerates every figure of the paper
+// (with -mc N it also re-validates each figure through the engine);
 // cmd/wfsched schedules one workflow with the paper's heuristics;
 // cmd/wfgen emits synthetic workflows; cmd/evaluate computes the
 // expected makespan of a user-supplied schedule.
 //
 // The benchmarks in bench_test.go regenerate one data point of every
 // figure (fig2a..fig7d) plus micro-benchmarks of the evaluator, the
-// simulator and the generators.
+// simulator, the generators and the parallel Monte-Carlo engine
+// (BenchmarkMCParallel vs BenchmarkMCSerialBatch).
 package repro

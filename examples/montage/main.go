@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sort"
@@ -17,11 +18,10 @@ import (
 )
 
 func main() {
-	const (
-		n    = 150
-		seed = 2026
-	)
-	g, err := pwg.Generate(pwg.Montage, n, seed)
+	const seed = 2026
+	n := flag.Int("n", 150, "workflow size")
+	flag.Parse()
+	g, err := pwg.Generate(pwg.Montage, *n, seed)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,24 +13,26 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/failure"
+	"repro/internal/mc"
 	"repro/internal/pwg"
-	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/simulator"
 )
 
 func main() {
-	const (
-		n      = 100
-		trials = 15000
+	var (
+		n      = flag.Int("n", 100, "workflow size")
+		trials = flag.Int("trials", 15000, "Monte-Carlo trials per mode")
 	)
-	g, err := pwg.Generate(pwg.Genome, n, 21)
+	flag.Parse()
+	g, err := pwg.Generate(pwg.Genome, *n, 21)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,15 +44,25 @@ func main() {
 
 	best := sched.Best(sched.RunAll(sched.Paper14(sched.Options{RFSeed: 21, Grid: 40}), g, plat))
 	fmt.Printf("Genome workflow, %d tasks, λ=%g, D=%g; schedule: %s (%d checkpoints)\n\n",
-		n, plat.Lambda, plat.Downtime, best.Name, best.Schedule.NumCheckpointed())
+		*n, plat.Lambda, plat.Downtime, best.Name, best.Schedule.NumCheckpointed())
 	fmt.Printf("blocking model:    analytic T/Tinf = %.4f (Theorem 3)\n", best.Expected/tinf)
-	acc, _ := simulator.Batch(best.Schedule, plat, 777, trials)
+	blocking, err := mc.Run(best.Schedule, plat, mc.Config{
+		Trials: *trials, Seed: 777, Factory: simulator.Factory()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc := blocking.Makespan
 	fmt.Printf("blocking model:    simulated T/Tinf = %.4f ± %.4f (99%% CI)\n\n",
 		acc.Mean()/tinf, acc.CI(0.99)/tinf)
 
 	fmt.Printf("%-28s %10s %10s\n", "checkpointing mode", "T/Tinf", "vs blocking")
 	for _, alpha := range []float64{0, 0.25, 0.5, 0.9} {
-		mean := simulator.BatchNonBlocking(best.Schedule, simulator.New(plat, rng.New(777)), alpha, trials)
+		nb, err := mc.Run(best.Schedule, plat, mc.Config{
+			Trials: *trials, Seed: 777, Factory: simulator.NonBlockingFactory(alpha)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mean := nb.Makespan.Mean()
 		fmt.Printf("non-blocking α=%-12.2f %10.4f %+9.2f%%\n",
 			alpha, mean/tinf, 100*(mean-acc.Mean())/acc.Mean())
 	}

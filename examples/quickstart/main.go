@@ -5,17 +5,21 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/failure"
+	"repro/internal/mc"
 	"repro/internal/sched"
 	"repro/internal/simulator"
 )
 
 func main() {
+	trials := flag.Int("trials", 20000, "Monte-Carlo trials")
+	flag.Parse()
 	// 1. Describe the workflow: a tiny pipeline with a fan-out.
 	//    Weights are failure-free runtimes in seconds; each task's
 	//    output can be checkpointed in c seconds and recovered in r.
@@ -55,11 +59,17 @@ func main() {
 	fmt.Println("   (* = checkpointed)")
 
 	// 4. Cross-check the analytical expectation (Theorem 3 of the
-	//    paper) against fault-injection simulation.
+	//    paper) against fault-injection simulation — batched across
+	//    every core by the sharded Monte-Carlo engine.
 	analytic := core.Eval(res.Schedule, plat)
-	acc, avgFailures := simulator.Batch(res.Schedule, plat, 42, 20000)
-	fmt.Printf("  analytic %.1f s vs simulated %.1f ±%.1f s (99%%CI, 20k runs, %.2f failures/run)\n",
-		analytic, acc.Mean(), acc.CI(0.99), avgFailures)
+	mcRes, err := mc.Run(res.Schedule, plat, mc.Config{
+		Trials: *trials, Seed: 42, Factory: simulator.Factory()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc := mcRes.Makespan
+	fmt.Printf("  analytic %.1f s vs simulated %.1f ±%.1f s (99%%CI, %d runs, %.2f failures/run)\n",
+		analytic, acc.Mean(), acc.CI(0.99), *trials, mcRes.AvgFailures())
 
 	// 5. Compare against the two baselines.
 	for _, base := range []sched.Strategy{sched.CkptNvr{}, sched.CkptAlws{}} {

@@ -12,25 +12,26 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/failure"
+	"repro/internal/mc"
 	"repro/internal/pwg"
-	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/simulator"
-	"repro/internal/stats"
 )
 
 func main() {
-	const (
-		n      = 120
-		trials = 20000
+	var (
+		n      = flag.Int("n", 120, "workflow size")
+		trials = flag.Int("trials", 20000, "Monte-Carlo trials per failure law")
 	)
-	g, err := pwg.Generate(pwg.Ligo, n, 11)
+	flag.Parse()
+	g, err := pwg.Generate(pwg.Ligo, *n, 11)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,19 +50,23 @@ func main() {
 	schedules["CkptAlws"] = alw.Schedule
 
 	fmt.Printf("LIGO workflow, %d tasks, MTBF %.0f s, D=%.0f s; T/Tinf per failure law (MC, %d trials):\n\n",
-		n, plat.MTBF(), plat.Downtime, trials)
+		*n, plat.MTBF(), plat.Downtime, *trials)
 	fmt.Printf("%-20s %12s %12s %12s %12s\n",
 		"schedule", "analytic-exp", "weibull 0.7", "exp (k=1)", "weibull 1.5")
 	for _, name := range []string{"best (" + best.Name + ")", "CkptAlws", "CkptNvr"} {
 		s := schedules[name]
 		fmt.Printf("%-20s %12.4f", name, core.Eval(s, plat)/tinf)
 		for _, shape := range []float64{0.7, 1.0, 1.5} {
-			sim := simulator.NewWithGaps(plat, rng.New(999), simulator.WeibullGaps(shape, plat.Lambda))
-			var acc stats.Accumulator
-			for i := 0; i < trials; i++ {
-				acc.Add(sim.Run(s).Makespan)
+			res, err := mc.Run(s, plat, mc.Config{
+				Trials: *trials,
+				Seed:   999,
+				Factory: simulator.FactoryWithGaps(
+					simulator.WeibullGaps(shape, plat.Lambda)),
+			})
+			if err != nil {
+				log.Fatal(err)
 			}
-			fmt.Printf(" %12.4f", acc.Mean()/tinf)
+			fmt.Printf(" %12.4f", res.Makespan.Mean()/tinf)
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,73 @@
+package repro
+
+// Smoke tests for the example programs: each example is built with
+// the local toolchain and executed with tiny parameters, so examples
+// cannot silently rot — they are real main packages, not testable
+// libraries, which is why this drives them as binaries.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// exampleRuns lists every example with parameters small enough to
+// finish in seconds.
+var exampleRuns = []struct {
+	dir  string
+	args []string
+}{
+	{"chain", nil},
+	{"faultsim", []string{"-trials", "300"}},
+	{"montage", []string{"-n", "60"}},
+	{"nonblocking", []string{"-n", "50", "-trials", "300"}},
+	{"quickstart", []string{"-trials", "300"}},
+	{"robustness", []string{"-n", "40", "-trials", "300"}},
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke tests skipped in -short mode")
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(root, "examples"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[string]bool{}
+	for _, r := range exampleRuns {
+		covered[r.dir] = true
+	}
+	for _, e := range entries {
+		if e.IsDir() && !covered[e.Name()] {
+			t.Errorf("examples/%s has no smoke-test entry; add it to exampleRuns", e.Name())
+		}
+	}
+
+	binDir := t.TempDir()
+	for _, r := range exampleRuns {
+		r := r
+		t.Run(r.dir, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(binDir, r.dir)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+r.dir)
+			build.Dir = root
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			run := exec.Command(bin, r.args...)
+			run.Dir = root
+			out, err := run.CombinedOutput()
+			if err != nil {
+				t.Fatalf("run failed: %v\n%s", err, out)
+			}
+			if len(out) == 0 {
+				t.Fatal("example produced no output")
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/failure"
+	"repro/internal/mc"
 	"repro/internal/pwg"
 	"repro/internal/refine"
 	"repro/internal/sched"
@@ -53,8 +54,14 @@ func TestEndToEndEveryWorkflowFamily(t *testing.T) {
 			if best.Expected < lb-1e-9 {
 				t.Fatalf("best %v below lower bound %v", best.Expected, lb)
 			}
-			// 3. The simulator agrees with the analytic value.
-			acc, _ := simulator.Batch(best.Schedule, plat, 99, 20000)
+			// 3. The simulator (via the parallel sharded engine)
+			// agrees with the analytic value.
+			mcRes, err := mc.Run(best.Schedule, plat, mc.Config{
+				Trials: 20000, Seed: 99, Factory: simulator.Factory()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc := mcRes.Makespan
 			if math.Abs(acc.Mean()-best.Expected) > 5*acc.CI(0.99) {
 				t.Fatalf("simulated %v ± %v vs analytic %v",
 					acc.Mean(), acc.CI(0.99), best.Expected)

@@ -14,9 +14,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/failure"
+	"repro/internal/mc"
 	"repro/internal/pwg"
 	"repro/internal/report"
 	"repro/internal/sched"
+	"repro/internal/simulator"
 )
 
 // CostModel is one of the paper's checkpoint-cost regimes.
@@ -195,39 +197,35 @@ type point struct {
 	lambda float64
 }
 
-// Run executes one figure and returns its series.
-func Run(spec Spec, cfg Config) (*report.Figure, error) {
-	var pts []point
-	var xs []float64
-	var xlabel string
+// pointsFor expands a spec (and config overrides) into its x-axis.
+func pointsFor(spec Spec, cfg Config) (pts []point, xs []float64, xlabel string) {
 	if len(spec.Lambdas) > 0 {
 		xlabel = "lambda"
 		for i, l := range spec.Lambdas {
 			pts = append(pts, point{idx: i, n: spec.N, lambda: l})
 			xs = append(xs, l)
 		}
-	} else {
-		sizes := cfg.Sizes
-		if sizes == nil {
-			sizes = spec.Sizes
-		}
-		if sizes == nil {
-			sizes = DefaultSizes()
-		}
-		xlabel = "tasks"
-		for i, n := range sizes {
-			pts = append(pts, point{idx: i, n: n, lambda: spec.Lambda})
-			xs = append(xs, float64(n))
-		}
+		return pts, xs, xlabel
 	}
-
-	seriesNames := seriesNamesFor(spec.Kind)
-	ys := make([][]float64, len(seriesNames))
-	for i := range ys {
-		ys[i] = make([]float64, len(pts))
+	sizes := cfg.Sizes
+	if sizes == nil {
+		sizes = spec.Sizes
 	}
+	if sizes == nil {
+		sizes = DefaultSizes()
+	}
+	xlabel = "tasks"
+	for i, n := range sizes {
+		pts = append(pts, point{idx: i, n: n, lambda: spec.Lambda})
+		xs = append(xs, float64(n))
+	}
+	return pts, xs, xlabel
+}
 
-	workers := cfg.Workers
+// forEachPoint runs fn over every point on a bounded worker pool,
+// giving each worker its own reusable evaluator. The first error
+// aborts the result.
+func forEachPoint(pts []point, workers int, fn func(ev *core.Evaluator, pt point) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -243,13 +241,8 @@ func Run(spec Spec, cfg Config) (*report.Figure, error) {
 			defer wg.Done()
 			ev := core.NewEvaluator()
 			for pt := range work {
-				vals, err := evalPoint(spec, cfg, pt, ev)
-				if err != nil {
-					errs <- fmt.Errorf("%s at x=%d: %w", spec.ID, pt.n, err)
-					continue
-				}
-				for s := range vals {
-					ys[s][pt.idx] = vals[s]
+				if err := fn(ev, pt); err != nil {
+					errs <- err
 				}
 			}
 		}()
@@ -260,7 +253,29 @@ func Run(spec Spec, cfg Config) (*report.Figure, error) {
 	close(work)
 	wg.Wait()
 	close(errs)
-	if err := <-errs; err != nil {
+	return <-errs
+}
+
+// Run executes one figure and returns its series.
+func Run(spec Spec, cfg Config) (*report.Figure, error) {
+	pts, xs, xlabel := pointsFor(spec, cfg)
+	seriesNames := seriesNamesFor(spec.Kind)
+	ys := make([][]float64, len(seriesNames))
+	for i := range ys {
+		ys[i] = make([]float64, len(pts))
+	}
+
+	err := forEachPoint(pts, cfg.Workers, func(ev *core.Evaluator, pt point) error {
+		vals, err := evalPoint(spec, cfg, pt, ev)
+		if err != nil {
+			return fmt.Errorf("%s at x=%d: %w", spec.ID, pt.n, err)
+		}
+		for s := range vals {
+			ys[s][pt.idx] = vals[s].Ratio
+		}
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 
@@ -271,6 +286,86 @@ func Run(spec Spec, cfg Config) (*report.Figure, error) {
 		}
 	}
 	return fig, nil
+}
+
+// ValidateMC runs one figure and cross-validates it by Monte-Carlo
+// fault injection in the same pass: every series' winning schedule at
+// every x-point is built once (in parallel over points, like Run) and
+// then all of them — every heuristic × every x-point — are evaluated
+// in a single batched pass of the sharded mc engine. It returns the
+// analytic figure (identical to Run's output for the same spec and
+// config) alongside a figure of simulated T/T_inf ratios comparable
+// series-for-series. The paper's Theorem 3 makes the simulation
+// redundant in expectation; running it is the cross-validation the
+// paper's conclusion calls prohibitively expensive without
+// parallelism.
+func ValidateMC(spec Spec, cfg Config, trials int) (analytic, validation *report.Figure, err error) {
+	pts, xs, xlabel := pointsFor(spec, cfg)
+	seriesNames := seriesNamesFor(spec.Kind)
+	nSeries := len(seriesNames)
+
+	// Phase 1: build the schedules (and analytic ratios), parallel
+	// over points.
+	type slot struct {
+		sp seriesPoint
+		pt point
+	}
+	slots := make([]slot, len(pts)*nSeries)
+	err = forEachPoint(pts, cfg.Workers, func(ev *core.Evaluator, pt point) error {
+		vals, err := evalPoint(spec, cfg, pt, ev)
+		if err != nil {
+			return fmt.Errorf("%s at x=%d: %w", spec.ID, pt.n, err)
+		}
+		for s, sp := range vals {
+			slots[pt.idx*nSeries+s] = slot{sp: sp, pt: pt}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Phase 2: one engine pass over all schedules of all points.
+	jobs := make([]mc.Job, len(slots))
+	for i, sl := range slots {
+		jobs[i] = mc.Job{Schedule: sl.sp.Sched, Plat: sl.sp.Plat}
+	}
+	results, err := mc.RunJobs(jobs, mc.Config{
+		Trials:  trials,
+		Seed:    cfg.Seed ^ 0x6d632d76616c, // "mc-val"
+		Workers: cfg.Workers,
+		Factory: simulator.Factory(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	ysA := make([][]float64, nSeries)
+	ysMC := make([][]float64, nSeries)
+	for i := range ysA {
+		ysA[i] = make([]float64, len(pts))
+		ysMC[i] = make([]float64, len(pts))
+	}
+	for i, sl := range slots {
+		ysA[i%nSeries][sl.pt.idx] = sl.sp.Ratio
+		ysMC[i%nSeries][sl.pt.idx] = results[i].Makespan.Mean() / sl.sp.Tinf
+	}
+	analytic = &report.Figure{ID: spec.ID, Title: spec.Title, XLabel: xlabel, X: xs}
+	validation = &report.Figure{
+		ID:     spec.ID + "-mc",
+		Title:  spec.Title + " (Monte-Carlo validation)",
+		XLabel: xlabel,
+		X:      xs,
+	}
+	for i, name := range seriesNames {
+		if err := analytic.AddSeries(name, ysA[i]); err != nil {
+			return nil, nil, err
+		}
+		if err := validation.AddSeries(name, ysMC[i]); err != nil {
+			return nil, nil, err
+		}
+	}
+	return analytic, validation, nil
 }
 
 // seriesNamesFor lists the series of each figure kind, in plot order.
@@ -284,9 +379,19 @@ func seriesNamesFor(k Kind) []string {
 	return []string{"CkptNvr", "CkptAlws", "CkptPer", "CkptW", "CkptC", "CkptD"}
 }
 
+// seriesPoint is one series' outcome at one x-point: the ratio the
+// figure plots plus the schedule and platform behind it, so the
+// Monte-Carlo validator can replay the exact winning schedules.
+type seriesPoint struct {
+	Ratio float64
+	Sched *core.Schedule
+	Plat  failure.Platform
+	Tinf  float64
+}
+
 // evalPoint computes every series value at one x-point. The workflow
 // instance is shared by all series, mirroring the paper's setup.
-func evalPoint(spec Spec, cfg Config, pt point, ev *core.Evaluator) ([]float64, error) {
+func evalPoint(spec Spec, cfg Config, pt point, ev *core.Evaluator) ([]seriesPoint, error) {
 	seed := cfg.Seed ^ (uint64(pt.n) * 0x9e3779b97f4a7c15) ^ uint64(spec.Workflow+1)
 	g, err := pwg.Generate(spec.Workflow, pt.n, seed)
 	if err != nil {
@@ -297,16 +402,17 @@ func evalPoint(spec Spec, cfg Config, pt point, ev *core.Evaluator) ([]float64, 
 	opt := sched.Options{RFSeed: seed ^ 0xabcdef, Grid: cfg.Grid}
 	tinf := g.TotalWeight()
 
-	ratio := func(h sched.Heuristic) float64 {
-		return h.RunWith(g, plat, ev).Expected / tinf
+	eval := func(h sched.Heuristic) seriesPoint {
+		r := h.RunWith(g, plat, ev)
+		return seriesPoint{Ratio: r.Expected / tinf, Sched: r.Schedule, Plat: plat, Tinf: tinf}
 	}
 	lins := []sched.Linearizer{sched.DF{}, sched.BF{}, sched.RF{Seed: opt.RFSeed}}
 
 	if spec.Kind == LinearizationImpact {
-		out := make([]float64, 0, 6)
+		out := make([]seriesPoint, 0, 6)
 		for _, strat := range []sched.Strategy{sched.NewCkptW(cfg.Grid), sched.NewCkptC(cfg.Grid)} {
 			for _, lin := range lins {
-				out = append(out, ratio(sched.Heuristic{Lin: lin, Strat: strat}))
+				out = append(out, eval(sched.Heuristic{Lin: lin, Strat: strat}))
 			}
 		}
 		// Order: DF-W, BF-W, RF-W, DF-C, BF-C, RF-C (matches
@@ -316,20 +422,20 @@ func evalPoint(spec Spec, cfg Config, pt point, ev *core.Evaluator) ([]float64, 
 
 	// CheckpointImpact: each strategy plotted with its best
 	// linearization (the baselines use DF only, as in Section 5).
-	out := make([]float64, 0, 6)
-	out = append(out, ratio(sched.Heuristic{Lin: sched.DF{}, Strat: sched.CkptNvr{}}))
-	out = append(out, ratio(sched.Heuristic{Lin: sched.DF{}, Strat: sched.CkptAlws{}}))
+	out := make([]seriesPoint, 0, 6)
+	out = append(out, eval(sched.Heuristic{Lin: sched.DF{}, Strat: sched.CkptNvr{}}))
+	out = append(out, eval(sched.Heuristic{Lin: sched.DF{}, Strat: sched.CkptAlws{}}))
 	for _, strat := range []sched.Strategy{
 		sched.CkptPer{Grid: cfg.Grid},
 		sched.NewCkptW(cfg.Grid),
 		sched.NewCkptC(cfg.Grid),
 		sched.NewCkptD(cfg.Grid),
 	} {
-		best := -1.0
-		for _, lin := range lins {
-			v := ratio(sched.Heuristic{Lin: lin, Strat: strat})
-			if best < 0 || v < best {
-				best = v
+		var best seriesPoint
+		for i, lin := range lins {
+			sp := eval(sched.Heuristic{Lin: lin, Strat: strat})
+			if i == 0 || sp.Ratio < best.Ratio {
+				best = sp
 			}
 		}
 		out = append(out, best)

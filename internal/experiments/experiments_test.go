@@ -178,3 +178,75 @@ func TestRunPropagatesGeneratorErrors(t *testing.T) {
 		t.Fatal("generator error swallowed")
 	}
 }
+
+// TestValidateMCAgreesWithAnalytic: the batched Monte-Carlo pass over
+// every winning schedule of a small figure must land close to the
+// analytic curves — the cross-validation the figures rest on.
+func TestValidateMCAgreesWithAnalytic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical validation skipped in -short mode")
+	}
+	spec, err := SpecByID("fig3c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Grid: 8, Seed: 1, Sizes: []int{40}, Workers: 4}
+	ran, err := Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, mcFig, err := ValidateMC(spec, cfg, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcFig.ID != "fig3c-mc" || len(mcFig.Series) != len(analytic.Series) {
+		t.Fatalf("validation figure malformed: %s, %d series", mcFig.ID, len(mcFig.Series))
+	}
+	// The analytic figure out of the combined pass must equal Run's.
+	for i := range ran.Series {
+		for j, want := range ran.Series[i].Y {
+			if got := analytic.Series[i].Y[j]; got != want {
+				t.Fatalf("analytic %s[%d]: ValidateMC %v vs Run %v",
+					ran.Series[i].Name, j, got, want)
+			}
+		}
+	}
+	for i, s := range mcFig.Series {
+		for j, got := range s.Y {
+			want := analytic.Series[i].Y[j]
+			// 6000 trials keep the standard error well under 2% on
+			// these small workflows; allow 5%.
+			if math.Abs(got-want)/want > 0.05 {
+				t.Fatalf("%s at x=%v: MC %v vs analytic %v", s.Name, mcFig.X[j], got, want)
+			}
+		}
+	}
+}
+
+// TestValidateMCDeterministicAcrossWorkerCounts mirrors the analytic
+// determinism test: the MC figure inherits the engine's
+// worker-invariance.
+func TestValidateMCDeterministicAcrossWorkerCounts(t *testing.T) {
+	spec, err := SpecByID("fig2b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg1 := Config{Grid: 8, Seed: 1, Sizes: []int{40}, Workers: 1}
+	cfg8 := cfg1
+	cfg8.Workers = 8
+	_, a, err := ValidateMC(spec, cfg1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := ValidateMC(spec, cfg8, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Series {
+		for j := range a.Series[i].Y {
+			if a.Series[i].Y[j] != b.Series[i].Y[j] {
+				t.Fatalf("MC series %s diverges across worker counts", a.Series[i].Name)
+			}
+		}
+	}
+}

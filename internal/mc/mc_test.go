@@ -1,0 +1,259 @@
+package mc_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/mc"
+	"repro/internal/rng"
+	"repro/internal/simulator"
+	"repro/internal/stats"
+)
+
+// testSchedule builds a small chain schedule with alternating
+// checkpoints — cheap enough for many-trial determinism tests.
+func testSchedule(t testing.TB) *core.Schedule {
+	t.Helper()
+	g := dag.Chain([]float64{30, 50, 20, 40, 25}, dag.UniformCosts(0.1))
+	s, err := core.NewSchedule(g, []int{0, 1, 2, 3, 4},
+		[]bool{true, false, true, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+var testPlat = failure.Platform{Lambda: 5e-3, Downtime: 2}
+
+// fakeRunner makes each trial a pure function of the shard stream, so
+// tests can re-derive the exact sample multiset independently.
+type fakeRunner struct{ src *rng.Source }
+
+func (f fakeRunner) Trial(*core.Schedule) mc.Sample {
+	return mc.Sample{Makespan: f.src.Float64(), Failures: f.src.Intn(3)}
+}
+
+func fakeFactory() mc.Factory {
+	return func(_ failure.Platform, src *rng.Source) mc.Runner { return fakeRunner{src} }
+}
+
+// TestWorkerInvariance is the engine's core contract: for a fixed
+// (seed, trials, shard size), the accumulated statistics —
+// percentiles and histogram included — are bit-identical at any
+// worker count.
+func TestWorkerInvariance(t *testing.T) {
+	s := testSchedule(t)
+	base := mc.Config{
+		Trials:        3000,
+		Seed:          17,
+		ShardSize:     128,
+		Percentiles:   []float64{5, 50, 95, 99},
+		HistogramBins: 16,
+		Factory:       simulator.Factory(),
+	}
+	cfg1 := base
+	cfg1.Workers = 1
+	want, err := mc.Run(s, testPlat, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Makespan.N() != 3000 || want.Makespan.Mean() <= 0 {
+		t.Fatalf("bad baseline result: %v", want.Makespan.String())
+	}
+	for _, workers := range []int{2, 3, 8} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := mc.Run(s, testPlat, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Workers=%d diverged from Workers=1:\n got %+v\nwant %+v",
+				workers, got, want)
+		}
+	}
+}
+
+// TestRunManyMatchesRun: job 0 of a batched pass draws the same
+// streams as a standalone Run, and distinct jobs draw distinct
+// streams.
+func TestRunManyMatchesRun(t *testing.T) {
+	s := testSchedule(t)
+	cfg := mc.Config{Trials: 1000, Seed: 5, Factory: simulator.Factory()}
+	solo, err := mc.Run(s, testPlat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := mc.RunMany([]*core.Schedule{s, s}, testPlat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(many[0], solo) {
+		t.Fatalf("RunMany[0] != Run: %+v vs %+v", many[0], solo)
+	}
+	if many[1].Makespan == many[0].Makespan {
+		t.Fatal("jobs 0 and 1 drew identical streams")
+	}
+}
+
+// TestRunJobsPerJobPlatforms: one pool pass may mix platforms.
+func TestRunJobsPerJobPlatforms(t *testing.T) {
+	s := testSchedule(t)
+	calm := failure.Platform{Lambda: 1e-6}
+	harsh := failure.Platform{Lambda: 2e-2, Downtime: 5}
+	res, err := mc.RunJobs([]mc.Job{
+		{Schedule: s, Plat: calm},
+		{Schedule: s, Plat: harsh},
+	}, mc.Config{Trials: 2000, Seed: 9, Factory: simulator.Factory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Makespan.Mean() >= res[1].Makespan.Mean() {
+		t.Fatalf("calm platform (%v) not faster than harsh (%v)",
+			res[0].Makespan.Mean(), res[1].Makespan.Mean())
+	}
+	if res[0].TotalFailures >= res[1].TotalFailures {
+		t.Fatalf("failure totals inverted: %d vs %d",
+			res[0].TotalFailures, res[1].TotalFailures)
+	}
+}
+
+// TestStreamDerivation pins the documented contract: shard k of job j
+// draws from rng.Stream(rng.StreamSeed(seed, j), k), merged in shard
+// order.
+func TestStreamDerivation(t *testing.T) {
+	const (
+		seed      = uint64(33)
+		trials    = 700
+		shardSize = 256
+	)
+	s := testSchedule(t)
+	res, err := mc.Run(s, testPlat, mc.Config{
+		Trials:      trials,
+		Seed:        seed,
+		ShardSize:   shardSize,
+		Percentiles: []float64{0, 25, 50, 100},
+		Factory:     fakeFactory(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-derive the sample stream by hand: per-shard accumulators
+	// merged in shard order, exactly as the engine does.
+	var want stats.Accumulator
+	var samples []float64
+	master := rng.StreamSeed(seed, 0)
+	for shard, done := 0, 0; done < trials; shard++ {
+		src := rng.Stream(master, uint64(shard))
+		n := shardSize
+		if trials-done < n {
+			n = trials - done
+		}
+		var part stats.Accumulator
+		for i := 0; i < n; i++ {
+			v := src.Float64()
+			src.Intn(3)
+			part.Add(v)
+			samples = append(samples, v)
+		}
+		want.Merge(&part)
+		done += n
+	}
+	if res.Makespan.N() != want.N() || res.Makespan.Mean() != want.Mean() {
+		t.Fatalf("derived stream mismatch: %v vs %v",
+			res.Makespan.String(), want.String())
+	}
+	for i, p := range []float64{0, 25, 50, 100} {
+		if got := res.Percentiles[i]; got != stats.Percentile(samples, p) {
+			t.Fatalf("p%v = %v, want %v", p, got, stats.Percentile(samples, p))
+		}
+	}
+}
+
+// TestCrossValidatesAnalytic: the parallel engine's mean must agree
+// with the Theorem 3 evaluator within Monte-Carlo error.
+func TestCrossValidatesAnalytic(t *testing.T) {
+	s := testSchedule(t)
+	want := core.Eval(s, testPlat)
+	res, err := mc.Run(s, testPlat, mc.Config{
+		Trials: 30000, Seed: 2, Workers: 4, Factory: simulator.Factory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := 4.5*res.Makespan.CI(0.99) + 1e-9
+	if diff := math.Abs(res.Makespan.Mean() - want); diff > tol {
+		t.Fatalf("MC %v ± %v vs analytic %v",
+			res.Makespan.Mean(), res.Makespan.CI(0.99), want)
+	}
+	if got := res.AvgFailures(); math.Abs(got-float64(res.TotalFailures)/30000) > 1e-9 {
+		t.Fatalf("AvgFailures %v inconsistent with totals %d", got, res.TotalFailures)
+	}
+}
+
+// TestHistogram: bin counts cover every trial over the observed range.
+func TestHistogram(t *testing.T) {
+	s := testSchedule(t)
+	res, err := mc.Run(s, testPlat, mc.Config{
+		Trials: 5000, Seed: 4, HistogramBins: 12, Factory: simulator.Factory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.Histogram
+	if h == nil || len(h.Counts) != 12 {
+		t.Fatalf("histogram missing: %+v", h)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 5000 {
+		t.Fatalf("histogram covers %d of 5000 trials", total)
+	}
+	if h.Min != res.Makespan.Min() || h.Max != res.Makespan.Max() {
+		t.Fatalf("histogram range [%v, %v] vs accumulator [%v, %v]",
+			h.Min, h.Max, res.Makespan.Min(), res.Makespan.Max())
+	}
+	if h.BinWidth() <= 0 {
+		t.Fatalf("degenerate bin width %v", h.BinWidth())
+	}
+}
+
+func TestZeroTrials(t *testing.T) {
+	s := testSchedule(t)
+	res, err := mc.Run(s, testPlat, mc.Config{Factory: simulator.Factory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan.N() != 0 || res.Percentiles != nil || res.Histogram != nil {
+		t.Fatalf("zero-trial run produced data: %+v", res)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := testSchedule(t)
+	cases := []struct {
+		name string
+		jobs []mc.Job
+		cfg  mc.Config
+	}{
+		{"nil factory", []mc.Job{{Schedule: s, Plat: testPlat}}, mc.Config{Trials: 10}},
+		{"negative trials", []mc.Job{{Schedule: s, Plat: testPlat}},
+			mc.Config{Trials: -1, Factory: simulator.Factory()}},
+		{"bad percentile", []mc.Job{{Schedule: s, Plat: testPlat}},
+			mc.Config{Trials: 10, Percentiles: []float64{101}, Factory: simulator.Factory()}},
+		{"nil schedule", []mc.Job{{Plat: testPlat}},
+			mc.Config{Trials: 10, Factory: simulator.Factory()}},
+		{"bad platform", []mc.Job{{Schedule: s, Plat: failure.Platform{Lambda: -1}}},
+			mc.Config{Trials: 10, Factory: simulator.Factory()}},
+	}
+	for _, tc := range cases {
+		if _, err := mc.RunJobs(tc.jobs, tc.cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

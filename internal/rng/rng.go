@@ -174,3 +174,23 @@ func (r *Source) Shuffle(n int, swap func(i, j int)) {
 func (r *Source) Fork() *Source {
 	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
 }
+
+// StreamSeed derives the i-th child seed of a master seed: the i-th
+// output of the splitmix64 sequence started at master. Unlike Fork it
+// is a pure function of (master, i), so any child stream can be
+// derived in O(1) without consuming the master stream — the property
+// the sharded Monte-Carlo engine relies on to give shard i the same
+// RNG stream regardless of which worker executes it.
+func StreamSeed(master, i uint64) uint64 {
+	state := master + (i+1)*0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream returns the i-th child source of a master seed,
+// New(StreamSeed(master, i)).
+func Stream(master, i uint64) *Source {
+	return New(StreamSeed(master, i))
+}

@@ -1,0 +1,78 @@
+package simulator
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/mc"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// legacySerialBatch is the pre-engine Batch implementation, kept
+// verbatim as the compatibility oracle: one simulator, one RNG
+// stream, trials run back to back on one goroutine.
+func legacySerialBatch(s *core.Schedule, plat failure.Platform, seed uint64, trials int) (stats.Accumulator, float64) {
+	sim := New(plat, rng.New(seed))
+	var makespan stats.Accumulator
+	totFail := 0
+	for t := 0; t < trials; t++ {
+		r := sim.Run(s)
+		makespan.Add(r.Makespan)
+		totFail += r.Failures
+	}
+	avgFailures := 0.0
+	if trials > 0 {
+		avgFailures = float64(totFail) / float64(trials)
+	}
+	return makespan, avgFailures
+}
+
+// TestBatchMatchesLegacySerial: the Batch wrapper over the mc engine
+// must reproduce the pre-refactor serial results bit for bit at a
+// pinned seed — same draws, same accumulator, same average.
+func TestBatchMatchesLegacySerial(t *testing.T) {
+	for _, seed := range []uint64{1, 99, 31337} {
+		s, plat := randomScheduledDAG(seed*11+3, 8)
+		wantAcc, wantAvg := legacySerialBatch(s, plat, seed, 3000)
+		gotAcc, gotAvg := Batch(s, plat, seed, 3000)
+		if gotAcc != wantAcc {
+			t.Fatalf("seed %d: accumulator diverged:\n got %v\nwant %v",
+				seed, gotAcc.String(), wantAcc.String())
+		}
+		if gotAvg != wantAvg {
+			t.Fatalf("seed %d: avg failures %v, want %v", seed, gotAvg, wantAvg)
+		}
+	}
+}
+
+// TestBatchZeroTrials keeps the historical empty-batch behaviour.
+func TestBatchZeroTrials(t *testing.T) {
+	s, plat := randomScheduledDAG(7, 5)
+	acc, avg := Batch(s, plat, 1, 0)
+	if acc.N() != 0 || avg != 0 {
+		t.Fatalf("zero-trial batch produced data: %v avg=%v", acc.String(), avg)
+	}
+}
+
+// TestEngineMatchesBatchStatistically: the parallel engine draws
+// different streams than the serial wrapper, but on the same schedule
+// the two means must agree within combined Monte-Carlo error.
+func TestEngineMatchesBatchStatistically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical comparison skipped in -short mode")
+	}
+	s, plat := randomScheduledDAG(21, 9)
+	serial, _ := Batch(s, plat, 12, 20000)
+	res, err := mc.Run(s, plat, mc.Config{
+		Trials: 20000, Seed: 12, Factory: Factory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := res.Makespan
+	tol := 4.5 * (serial.CI(0.99) + par.CI(0.99))
+	if diff := serial.Mean() - par.Mean(); diff > tol || diff < -tol {
+		t.Fatalf("serial %v vs parallel %v (tol %v)", serial.Mean(), par.Mean(), tol)
+	}
+}

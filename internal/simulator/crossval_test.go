@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/failure"
+	"repro/internal/mc"
 	"repro/internal/rng"
 )
 
@@ -75,7 +76,8 @@ func randomScheduledDAG(seed uint64, n int) (*core.Schedule, failure.Platform) {
 // Theorem 3 evaluator and the mechanistic fault-injection simulator
 // must agree within Monte-Carlo error. Any divergence in the T↓
 // recovery-set semantics between the two implementations would
-// surface here.
+// surface here. The batches run through the sharded parallel engine,
+// which also exercises its merge path under every random platform.
 func TestCrossValidationRandomDAGs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("statistical cross-validation skipped in -short mode")
@@ -86,7 +88,12 @@ func TestCrossValidationRandomDAGs(t *testing.T) {
 			t.Parallel()
 			s, plat := randomScheduledDAG(seed*1337, 4+int(seed%9))
 			want := core.Eval(s, plat)
-			acc, _ := Batch(s, plat, seed*7+1, 40000)
+			res, err := mc.Run(s, plat, mc.Config{
+				Trials: 40000, Seed: seed*7 + 1, Factory: Factory()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc := res.Makespan
 			tol := 4.5*acc.CI(0.99) + 1e-9
 			if diff := math.Abs(acc.Mean() - want); diff > tol {
 				t.Fatalf("seed %d: MC %v ± %v vs analytic %v (diff %v)",

@@ -1,0 +1,66 @@
+package simulator
+
+// Adapters plugging this package's simulators into the sharded
+// parallel Monte-Carlo engine of internal/mc. The engine is generic
+// over a per-shard trial runner; these factories build one simulator
+// per shard from the shard's deterministic random source, so batches
+// parallelize across cores while staying bit-reproducible for a given
+// (seed, trials, shard size).
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/mc"
+	"repro/internal/rng"
+)
+
+// Factory returns an mc.Factory running this package's blocking
+// simulator under the platform's exponential failure law — the
+// paper's model.
+func Factory() mc.Factory {
+	return func(plat failure.Platform, src *rng.Source) mc.Runner {
+		return runner{New(plat, src)}
+	}
+}
+
+// FactoryWithGaps returns an mc.Factory whose simulators draw
+// inter-failure gaps from the given law instead of the platform's
+// exponential one (nil: no failures ever occur) — the robustness
+// studies' Weibull mode.
+func FactoryWithGaps(gaps GapDraw) mc.Factory {
+	return func(plat failure.Platform, src *rng.Source) mc.Runner {
+		return runner{NewWithGaps(plat, src, gaps)}
+	}
+}
+
+// NonBlockingFactory returns an mc.Factory running the non-blocking
+// checkpointing extension at interference slowdown alpha ∈ [0, 1).
+func NonBlockingFactory(alpha float64) mc.Factory {
+	if alpha < 0 || alpha >= 1 || math.IsNaN(alpha) {
+		panic(fmt.Sprintf("simulator: non-blocking slowdown α=%v outside [0,1)", alpha))
+	}
+	return func(plat failure.Platform, src *rng.Source) mc.Runner {
+		return nbRunner{NewNonBlocking(New(plat, src), alpha)}
+	}
+}
+
+type runner struct{ sim *Simulator }
+
+func (r runner) Trial(s *core.Schedule) mc.Sample { return toSample(r.sim.Run(s)) }
+
+type nbRunner struct{ nb *NBSimulator }
+
+func (r nbRunner) Trial(s *core.Schedule) mc.Sample { return toSample(r.nb.Run(s)) }
+
+func toSample(res Result) mc.Sample {
+	return mc.Sample{
+		Makespan:  res.Makespan,
+		Failures:  res.Failures,
+		LostTime:  res.LostTime,
+		Recovered: res.Recovered,
+		Reexec:    res.Reexec,
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/failure"
+	"repro/internal/mc"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -283,16 +284,30 @@ func (sim *Simulator) segment(d float64, kind EventKind, task int) error {
 
 // Batch runs the schedule trials times and returns the accumulated
 // makespan statistics plus the average failure count per run.
+//
+// Batch is a serial compatibility wrapper over the mc engine: a
+// single shard holding every trial, drawing from rng.New(seed), so
+// its results are bit-identical to the historical one-goroutine
+// implementation. New code that wants multi-core batches should call
+// mc.Run with Factory() directly.
 func Batch(s *core.Schedule, plat failure.Platform, seed uint64, trials int) (makespan stats.Accumulator, avgFailures float64) {
-	sim := New(plat, rng.New(seed))
-	totFail := 0
-	for t := 0; t < trials; t++ {
-		r := sim.Run(s)
-		makespan.Add(r.Makespan)
-		totFail += r.Failures
+	if trials <= 0 {
+		// The historical loop ran zero iterations; preserve that
+		// instead of tripping the engine's negative-trials check.
+		return stats.Accumulator{}, 0
+	}
+	res, err := mc.Run(s, plat, mc.Config{
+		Trials:    trials,
+		Workers:   1,
+		ShardSize: trials,
+		Factory:   Factory(),
+		Stream:    func(_, _ uint64) *rng.Source { return rng.New(seed) },
+	})
+	if err != nil {
+		panic("simulator: " + err.Error())
 	}
 	if trials > 0 {
-		avgFailures = float64(totFail) / float64(trials)
+		avgFailures = float64(res.TotalFailures) / float64(trials)
 	}
-	return makespan, avgFailures
+	return res.Makespan, avgFailures
 }

@@ -195,11 +195,22 @@ func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		panic("stats: Percentile of empty slice")
 	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return PercentileSorted(sorted, p)
+}
+
+// PercentileSorted is Percentile over an already ascending-sorted
+// slice, skipping the copy and sort — the hot path when many
+// percentiles are read from one large sample (the Monte-Carlo
+// engine's case).
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
 	if p < 0 || p > 100 {
 		panic("stats: Percentile out of range")
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
 	if len(sorted) == 1 {
 		return sorted[0]
 	}
