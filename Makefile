@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint fmt vet check
+.PHONY: build test race bench lint fmt vet cover check
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,13 @@ race:
 # One iteration per benchmark: compile-and-run coverage, not timing.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Test coverage: per-function profile in coverage.out plus a total,
+# mirroring the CI coverage step, so regressions in any package
+# (especially the new ones) are visible before pushing.
+cover:
+	$(GO) test -short -covermode=atomic -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
 
 vet:
 	$(GO) vet ./...

@@ -20,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/failure"
 	"repro/internal/mc"
+	"repro/internal/portfolio"
 	"repro/internal/pwg"
 	"repro/internal/refine"
 	"repro/internal/rng"
@@ -314,6 +315,54 @@ func BenchmarkAblationGrid(b *testing.B) {
 		if err != nil || len(fig.Series) != 4 {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchPortfolio builds the portfolio benchmark workload: the full
+// 14-heuristic set on a CyberShake instance at the paper's largest
+// size (n = 700), with a bounded N grid so a single iteration stays
+// in benchmark territory. The full exhaustive sweep at n = 2000 is
+// the domain of cmd/experiments -fig scale-*.
+func benchPortfolio(b *testing.B) (*dag.Graph, []sched.Heuristic) {
+	b.Helper()
+	g, err := pwg.Generate(pwg.CyberShake, 700, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.ScaleCkptCosts(func(t dag.Task) (float64, float64) { return 0.1 * t.Weight, 0.1 * t.Weight })
+	return g, sched.Paper14(sched.Options{RFSeed: 1, Grid: 24})
+}
+
+// BenchmarkPortfolioSerial is the pre-engine baseline: the serial
+// sched.RunAll over the same workload the parallel engine fans out.
+func BenchmarkPortfolioSerial(b *testing.B) {
+	g, hs := benchPortfolio(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rs := sched.RunAll(hs, g, plat); len(rs) != 14 {
+			b.Fatal("bad portfolio result")
+		}
+	}
+}
+
+// BenchmarkPortfolioParallel measures the deterministic parallel
+// portfolio engine across worker counts; workers=1 quantifies engine
+// overhead against BenchmarkPortfolioSerial, higher counts the
+// multi-core speedup (the acceptance target is ≥ 2× over serial at
+// n ≥ 700 on 4+ cores — results are byte-identical either way).
+func BenchmarkPortfolioParallel(b *testing.B) {
+	g, hs := benchPortfolio(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rs := portfolio.Run(hs, g, plat, portfolio.Options{Workers: workers})
+				if len(rs) != 14 {
+					b.Fatal("bad portfolio result")
+				}
+			}
+		})
 	}
 }
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ablation [-study grid|priority|extensions|all] [-workflow all|Montage|...]
+//	ablation [-study grid|priority|extensions|all] [-workflow all|Montage|...] [-workers W]
 package main
 
 import (
@@ -24,16 +24,17 @@ func main() {
 		workflow = flag.String("workflow", "all", "workflow name or 'all'")
 		seed     = flag.Uint64("seed", 1, "master seed")
 		out      = flag.String("out", "", "directory for CSV output")
+		workers  = flag.Int("workers", 0, "portfolio-engine worker goroutines (0 = all cores; any value produces identical output)")
 	)
 	flag.Parse()
-	if err := run(*study, *workflow, *seed, *out); err != nil {
+	if err := run(*study, *workflow, *seed, *out, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "ablation:", err)
 		os.Exit(1)
 	}
 }
 
-func run(study, workflow string, seed uint64, out string) error {
-	cfg := ablation.Config{Seed: seed}
+func run(study, workflow string, seed uint64, out string, workers int) error {
+	cfg := ablation.Config{Seed: seed, Workers: workers}
 	var wfs []pwg.Workflow
 	if workflow == "all" {
 		wfs = []pwg.Workflow{pwg.Montage, pwg.CyberShake, pwg.Ligo, pwg.Genome}

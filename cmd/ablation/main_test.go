@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/ablation"
+	"repro/internal/pwg"
 )
 
 func capture(t *testing.T, fn func() error) (string, error) {
@@ -32,7 +35,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 }
 
 func TestRunSingleStudy(t *testing.T) {
-	out, err := capture(t, func() error { return run("priority", "Ligo", 1, "") })
+	out, err := capture(t, func() error { return run("priority", "Ligo", 1, "", 2) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +49,7 @@ func TestRunSingleStudy(t *testing.T) {
 
 func TestRunWritesCSV(t *testing.T) {
 	dir := t.TempDir()
-	if _, err := capture(t, func() error { return run("priority", "Montage", 1, dir) }); err != nil {
+	if _, err := capture(t, func() error { return run("priority", "Montage", 1, dir, 0) }); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "ablation-priority-Montage.csv")); err != nil {
@@ -54,11 +57,31 @@ func TestRunWritesCSV(t *testing.T) {
 	}
 }
 
+// -workers must not change a study's output, even when it far
+// exceeds the number of search cells.
+func TestRunWorkersInvariant(t *testing.T) {
+	small := []int{20, 30}
+	runWith := func(workers int) string {
+		cfg := ablation.Config{Seed: 1, Sizes: small, Workers: workers}
+		fig, err := ablation.GridResolution(pwg.CyberShake, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig.Table()
+	}
+	want := runWith(1)
+	for _, w := range []int{3, 500} {
+		if got := runWith(w); got != want {
+			t.Fatalf("workers=%d changed the study output:\n got:\n%s\nwant:\n%s", w, got, want)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if _, err := capture(t, func() error { return run("bogus", "Montage", 1, "") }); err == nil {
+	if _, err := capture(t, func() error { return run("bogus", "Montage", 1, "", 0) }); err == nil {
 		t.Fatal("unknown study accepted")
 	}
-	if _, err := capture(t, func() error { return run("grid", "Bogus", 1, "") }); err == nil {
+	if _, err := capture(t, func() error { return run("grid", "Bogus", 1, "", 0) }); err == nil {
 		t.Fatal("unknown workflow accepted")
 	}
 }

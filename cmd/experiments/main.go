@@ -47,7 +47,7 @@ func main() {
 
 	if *list {
 		for _, s := range experiments.AllSpecs() {
-			fmt.Printf("%-6s %s\n", s.ID, s.Title)
+			fmt.Printf("%-16s %s\n", s.ID, s.Title)
 		}
 		return
 	}

@@ -53,3 +53,27 @@ func TestAllIDsResolve(t *testing.T) {
 		}
 	}
 }
+
+// The -workers value reaches both parallelism levels (points and
+// portfolio cells); a value far beyond either must not change the
+// figure, per the determinism contract.
+func TestWorkersFlagInvariant(t *testing.T) {
+	spec, err := experiments.SpecByID("fig3a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWith := func(workers int) string {
+		cfg := experiments.Config{Grid: 6, Seed: 2, Sizes: []int{25, 35}, Workers: workers}
+		fig, err := experiments.Run(spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig.Table()
+	}
+	want := runWith(1)
+	for _, w := range []int{2, 64} {
+		if got := runWith(w); got != want {
+			t.Fatalf("-workers %d changed figure output:\n got:\n%s\nwant:\n%s", w, got, want)
+		}
+	}
+}

@@ -6,10 +6,17 @@
 // name ends in .dax/.xml. The checkpoint-cost model is applied on top
 // unless -cost keep is given.
 //
+// The heuristic portfolio runs through the deterministic parallel
+// engine of internal/portfolio: -workers fans the search (and any
+// Monte-Carlo validation) out over goroutines without changing a
+// single output byte, and -refine adds a local-search pass on every
+// heuristic's winner.
+//
 // Examples:
 //
 //	wfsched -workflow Montage -n 100 -lambda 1e-3
 //	wfsched -workflow Ligo -n 200 -heuristic DF-CkptW -mc 5000
+//	wfsched -workflow CyberShake -n 2000 -grid 60 -workers 16 -refine
 //	wfsched -in my.wf -cost keep -heuristic all
 package main
 
@@ -25,6 +32,7 @@ import (
 	"repro/internal/dax"
 	"repro/internal/failure"
 	"repro/internal/mc"
+	"repro/internal/portfolio"
 	"repro/internal/pwg"
 	"repro/internal/sched"
 	"repro/internal/simulator"
@@ -43,18 +51,19 @@ func main() {
 		heuristic = flag.String("heuristic", "all", "heuristic name (e.g. DF-CkptW) or 'all'")
 		grid      = flag.Int("grid", 0, "N-search grid (0 = exhaustive)")
 		mcTrials  = flag.Int("mc", 0, "Monte-Carlo trials to cross-check the best schedule")
-		workers   = flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = all cores)")
+		workers   = flag.Int("workers", 0, "portfolio-search and Monte-Carlo worker goroutines (0 = all cores; any value produces identical output)")
+		refineOn  = flag.Bool("refine", false, "hill-climb every heuristic's winning schedule")
 		dot       = flag.String("dot", "", "write the best schedule's DAG as DOT to this file")
 	)
 	flag.Parse()
-	if err := run(*workflow, *n, *seed, *in, *lambda, *downtime, *cost, *heuristic, *grid, *mcTrials, *workers, *dot); err != nil {
+	if err := run(*workflow, *n, *seed, *in, *lambda, *downtime, *cost, *heuristic, *grid, *mcTrials, *workers, *refineOn, *dot); err != nil {
 		fmt.Fprintln(os.Stderr, "wfsched:", err)
 		os.Exit(1)
 	}
 }
 
 func run(workflow string, n int, seed uint64, in string, lambda, downtime float64,
-	cost, heuristic string, grid, mcTrials, workers int, dot string) error {
+	cost, heuristic string, grid, mcTrials, workers int, refineOn bool, dot string) error {
 	var g *dag.Graph
 	if in != "" {
 		f, err := os.Open(in)
@@ -111,14 +120,13 @@ func run(workflow string, n int, seed uint64, in string, lambda, downtime float6
 	}
 
 	fmt.Printf("workflow: %v  (λ=%g, D=%g, T_inf=%.4g)\n\n", g, lambda, downtime, g.TotalWeight())
-	results := sched.RunAll(hs, g, plat)
+	results := portfolio.Run(hs, g, plat, portfolio.Options{Workers: workers, Refine: refineOn})
+	best := portfolio.Best(results)
 	sort.SliceStable(results, func(i, j int) bool { return results[i].Expected < results[j].Expected })
 	fmt.Printf("%-14s %14s %10s %8s\n", "heuristic", "E[makespan]", "T/Tinf", "#ckpt")
 	for _, r := range results {
 		fmt.Printf("%-14s %14.4f %10.4f %8d\n", r.Name, r.Expected, r.Ratio, r.Schedule.NumCheckpointed())
 	}
-
-	best := results[0]
 	if mcTrials > 0 {
 		res, err := mc.Run(best.Schedule, plat, mc.Config{
 			Trials:      mcTrials,

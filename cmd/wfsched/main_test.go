@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -29,7 +30,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 
 func TestRunGeneratedAllHeuristics(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("CyberShake", 50, 1, "", 0, 0, "0.1w", "all", 10, 0, 0, "")
+		return run("CyberShake", 50, 1, "", 0, 0, "0.1w", "all", 10, 0, 0, false, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -43,7 +44,7 @@ func TestRunGeneratedAllHeuristics(t *testing.T) {
 
 func TestRunSingleHeuristicWithMC(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("Montage", 40, 2, "", 1e-3, 1, "0.01w", "DF-CkptW", 8, 500, 2, "")
+		return run("Montage", 40, 2, "", 1e-3, 1, "0.01w", "DF-CkptW", 8, 500, 2, false, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -65,7 +66,7 @@ func TestRunFromFileAndDOT(t *testing.T) {
 	}
 	dot := filepath.Join(dir, "g.dot")
 	out, err := capture(t, func() error {
-		return run("", 0, 1, wf, 5e-3, 0, "keep", "all", 0, 0, 0, dot)
+		return run("", 0, 1, wf, 5e-3, 0, "keep", "all", 0, 0, 0, false, dot)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -94,7 +95,7 @@ func TestRunFromDAXFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := capture(t, func() error {
-		return run("", 0, 1, daxFile, 1e-3, 0, "0.1w", "DF-CkptW", 0, 0, 0, "")
+		return run("", 0, 1, daxFile, 1e-3, 0, "0.1w", "DF-CkptW", 0, 0, 0, false, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -110,29 +111,55 @@ func TestRunErrors(t *testing.T) {
 		return err
 	}
 	if err := silent(func() error {
-		return run("Nope", 50, 1, "", 0, 0, "0.1w", "all", 0, 0, 0, "")
+		return run("Nope", 50, 1, "", 0, 0, "0.1w", "all", 0, 0, 0, false, "")
 	}); err == nil {
 		t.Fatal("unknown workflow accepted")
 	}
 	if err := silent(func() error {
-		return run("Montage", 50, 1, "", 0, 0, "bogus", "all", 0, 0, 0, "")
+		return run("Montage", 50, 1, "", 0, 0, "bogus", "all", 0, 0, 0, false, "")
 	}); err == nil {
 		t.Fatal("bad cost model accepted")
 	}
 	if err := silent(func() error {
-		return run("Montage", 50, 1, "", 0, 0, "0.1w", "XF-CkptQ", 0, 0, 0, "")
+		return run("Montage", 50, 1, "", 0, 0, "0.1w", "XF-CkptQ", 0, 0, 0, false, "")
 	}); err == nil {
 		t.Fatal("unknown heuristic accepted")
 	}
 	if err := silent(func() error {
-		return run("Montage", 50, 1, "", -4, 0, "0.1w", "all", 0, 0, 0, "")
+		return run("Montage", 50, 1, "", -4, 0, "0.1w", "all", 0, 0, 0, false, "")
 	}); err == nil {
 		t.Fatal("negative λ accepted")
 	}
 	if err := silent(func() error {
-		return run("", 0, 1, "/nonexistent/x.wf", 0, 0, "keep", "all", 0, 0, 0, "")
+		return run("", 0, 1, "/nonexistent/x.wf", 0, 0, "keep", "all", 0, 0, 0, false, "")
 	}); err == nil {
 		t.Fatal("missing input file accepted")
+	}
+}
+
+// The acceptance pin of the portfolio determinism contract at the CLI
+// surface: `wfsched -workers k` must produce byte-identical output —
+// schedules, expected makespans and Monte-Carlo validation included —
+// for k = 1, an awkward k = 7, k = NumCPU and a k far beyond the
+// number of search cells.
+func TestRunWorkersByteIdentical(t *testing.T) {
+	runWith := func(workers int) string {
+		out, err := capture(t, func() error {
+			return run("CyberShake", 45, 3, "", 2e-3, 0, "0.1w", "all", 0, 400, workers, true, "")
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := runWith(1)
+	if !strings.Contains(want, "DF-CkptW") || !strings.Contains(want, "Monte-Carlo") {
+		t.Fatalf("baseline output incomplete:\n%s", want)
+	}
+	for _, k := range []int{7, runtime.NumCPU(), 999} {
+		if got := runWith(k); got != want {
+			t.Fatalf("-workers %d output diverges from -workers 1:\n got:\n%s\nwant:\n%s", k, got, want)
+		}
 	}
 }
 

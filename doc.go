@@ -7,10 +7,12 @@
 // DAG substrate (internal/dag), exact algorithms for forks, joins and
 // chains (internal/fork, internal/join, internal/chains), the
 // NP-completeness reduction (internal/npc), the Section 5 heuristics
-// (internal/sched), Pegasus-like workflow generators (internal/pwg),
-// a Monte-Carlo fault-injection simulator (internal/simulator), the
-// sharded parallel Monte-Carlo engine (internal/mc), and the
-// Section 6 experiment harness (internal/experiments).
+// (internal/sched), the deterministic parallel portfolio-search
+// engine (internal/portfolio), Pegasus-like workflow generators
+// (internal/pwg), a Monte-Carlo fault-injection simulator
+// (internal/simulator), the sharded parallel Monte-Carlo engine
+// (internal/mc), and the Section 6 experiment harness
+// (internal/experiments).
 //
 // # The Monte-Carlo engine
 //
@@ -28,6 +30,25 @@
 // and its Batch helper remains a serial single-stream compatibility
 // wrapper that reproduces the historical results bit for bit.
 //
+// # The portfolio engine
+//
+// internal/portfolio is the search-side twin of the Monte-Carlo
+// engine: the Section 5 heuristic portfolio — every linearization ×
+// checkpointing strategy, each sweeping checkpoint counts N through
+// the Theorem 3 evaluator — is fanned out over (heuristic, N-chunk)
+// cells on a worker pool, one pooled core.Evaluator per worker
+// (evaluators are stateful; core documents the single-goroutine
+// ownership rule and the pool enforces it). Candidates are reduced
+// under a canonical total order (lowest expected makespan, then
+// fewest checkpoints, then lowest strategy index / N), so the
+// winning schedule is byte-identical for any worker count and equal
+// to the serial sched.RunAll, which remains the reference path built
+// on the same primitives via sched.NSweeper. The experiment harness
+// (including the scale-* scenarios at n = 2000), the ablation
+// studies, refinement passes (refine.ImproveWith) and the cmd
+// binaries all route their searches through the engine behind
+// -workers flags.
+//
 // Binaries: cmd/experiments regenerates every figure of the paper
 // (with -mc N it also re-validates each figure through the engine);
 // cmd/wfsched schedules one workflow with the paper's heuristics;
@@ -36,6 +57,7 @@
 //
 // The benchmarks in bench_test.go regenerate one data point of every
 // figure (fig2a..fig7d) plus micro-benchmarks of the evaluator, the
-// simulator, the generators and the parallel Monte-Carlo engine
-// (BenchmarkMCParallel vs BenchmarkMCSerialBatch).
+// simulator, the generators and both parallel engines
+// (BenchmarkMCParallel vs BenchmarkMCSerialBatch,
+// BenchmarkPortfolioParallel vs BenchmarkPortfolioSerial).
 package repro

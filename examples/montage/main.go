@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/failure"
+	"repro/internal/portfolio"
 	"repro/internal/pwg"
 	"repro/internal/sched"
 )
@@ -20,6 +21,7 @@ import (
 func main() {
 	const seed = 2026
 	n := flag.Int("n", 150, "workflow size")
+	workers := flag.Int("workers", 0, "portfolio worker goroutines (0 = all cores; output is identical for any value)")
 	flag.Parse()
 	g, err := pwg.Generate(pwg.Montage, *n, seed)
 	if err != nil {
@@ -35,7 +37,8 @@ func main() {
 	fmt.Printf("Montage workflow: %v\n", g)
 	fmt.Printf("platform: %v  (MTBF %.0f s)\n\n", plat, plat.MTBF())
 
-	results := sched.RunAll(sched.Paper14(sched.Options{RFSeed: seed}), g, plat)
+	results := portfolio.Run(sched.Paper14(sched.Options{RFSeed: seed}), g, plat,
+		portfolio.Options{Workers: *workers})
 	sort.SliceStable(results, func(i, j int) bool { return results[i].Expected < results[j].Expected })
 
 	fmt.Printf("%-14s %12s %8s %7s\n", "heuristic", "E[makespan]", "T/Tinf", "#ckpt")

@@ -13,14 +13,16 @@ import (
 )
 
 // exampleRuns lists every example with parameters small enough to
-// finish in seconds.
+// finish in seconds. montage exercises the portfolio engine's
+// -workers flag with far more workers than search cells (the clamp
+// must hold at the example surface too).
 var exampleRuns = []struct {
 	dir  string
 	args []string
 }{
 	{"chain", nil},
 	{"faultsim", []string{"-trials", "300"}},
-	{"montage", []string{"-n", "60"}},
+	{"montage", []string{"-n", "60", "-workers", "64"}},
 	{"nonblocking", []string{"-n", "50", "-trials", "300"}},
 	{"quickstart", []string{"-trials", "300"}},
 	{"robustness", []string{"-n", "40", "-trials", "300"}},
@@ -49,6 +51,33 @@ func TestExamplesRun(t *testing.T) {
 	}
 
 	binDir := t.TempDir()
+	t.Run("montage-workers-deterministic", func(t *testing.T) {
+		t.Parallel()
+		// The portfolio determinism contract at the example surface:
+		// the report is byte-identical for any -workers value.
+		bin := filepath.Join(binDir, "montage-det")
+		build := exec.Command("go", "build", "-o", bin, "./examples/montage")
+		build.Dir = root
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("build failed: %v\n%s", err, out)
+		}
+		var outputs []string
+		for _, workers := range []string{"1", "7", "64"} {
+			run := exec.Command(bin, "-n", "50", "-workers", workers)
+			run.Dir = root
+			out, err := run.CombinedOutput()
+			if err != nil {
+				t.Fatalf("run -workers %s failed: %v\n%s", workers, err, out)
+			}
+			outputs = append(outputs, string(out))
+		}
+		for i := 1; i < len(outputs); i++ {
+			if outputs[i] != outputs[0] {
+				t.Fatalf("montage output differs between -workers 1 and -workers %d:\n%s\n---\n%s",
+					[]int{1, 7, 64}[i], outputs[0], outputs[i])
+			}
+		}
+	})
 	for _, r := range exampleRuns {
 		r := r
 		t.Run(r.dir, func(t *testing.T) {

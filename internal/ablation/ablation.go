@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/failure"
+	"repro/internal/portfolio"
 	"repro/internal/pwg"
 	"repro/internal/refine"
 	"repro/internal/report"
@@ -31,6 +32,9 @@ import (
 type Config struct {
 	Seed  uint64
 	Sizes []int
+	// Workers bounds the portfolio engine's parallelism inside each
+	// study (≤ 0: GOMAXPROCS). Results do not depend on it.
+	Workers int
 }
 
 func (c Config) sizes() []int {
@@ -79,11 +83,13 @@ func GridResolution(wf pwg.Workflow, cfg Config) (*report.Figure, error) {
 			return nil, err
 		}
 		fig.X = append(fig.X, float64(n))
-		ev := core.NewEvaluator()
-		order := sched.DF{}.Linearize(p.g)
 		for gi, grid := range grids {
-			_, v := sched.NewCkptW(grid).Apply(p.g, p.plat, order, ev)
-			ys[gi] = append(ys[gi], v/p.tinf)
+			// One single-heuristic portfolio run per grid: the
+			// engine parallelizes the N sweep itself, which is what
+			// dominates this study at the exhaustive setting.
+			rs := portfolio.Run([]sched.Heuristic{{Lin: sched.DF{}, Strat: sched.NewCkptW(grid)}},
+				p.g, p.plat, portfolio.Options{Workers: cfg.Workers})
+			ys[gi] = append(ys[gi], rs[0].Expected/p.tinf)
 		}
 	}
 	for gi, grid := range grids {
@@ -113,17 +119,17 @@ func Priority(wf pwg.Workflow, cfg Config) (*report.Figure, error) {
 			return nil, err
 		}
 		fig.X = append(fig.X, float64(n))
-		ev := core.NewEvaluator()
+		popt := portfolio.Options{Workers: cfg.Workers}
 		strat := sched.NewCkptW(0)
-		_, v1 := strat.Apply(p.g, p.plat, sched.DF{}.Linearize(p.g), ev)
-		withP = append(withP, v1/p.tinf)
+		rs := portfolio.Run([]sched.Heuristic{{Lin: sched.DF{}, Strat: strat}}, p.g, p.plat, popt)
+		withP = append(withP, rs[0].Expected/p.tinf)
 		// Neutralize the priority: a graph clone whose weights are
 		// hidden from the priority function is not expressible, so we
 		// instead use the no-priority DF: plain LIFO over ready tasks
 		// in ID order, which is what DF degenerates to when all
 		// priorities tie.
-		_, v2 := strat.Apply(p.g, p.plat, dfNoPriority(p.g), ev)
-		withoutP = append(withoutP, v2/p.tinf)
+		rs = portfolio.Run([]sched.Heuristic{{Lin: noPriorityDF{}, Strat: strat}}, p.g, p.plat, popt)
+		withoutP = append(withoutP, rs[0].Expected/p.tinf)
 	}
 	if err := fig.AddSeries("outweight", withP); err != nil {
 		return nil, err
@@ -133,6 +139,13 @@ func Priority(wf pwg.Workflow, cfg Config) (*report.Figure, error) {
 	}
 	return fig, nil
 }
+
+// noPriorityDF adapts dfNoPriority to the sched.Linearizer interface
+// so the study can route it through the portfolio engine.
+type noPriorityDF struct{}
+
+func (noPriorityDF) Name() string                 { return "DF0" }
+func (noPriorityDF) Linearize(g *dag.Graph) []int { return dfNoPriority(g) }
 
 // dfNoPriority is DF with all priorities equal (pure LIFO, ID order
 // among simultaneously enabled tasks).
@@ -190,16 +203,19 @@ func Extensions(wf pwg.Workflow, cfg Config) (*report.Figure, error) {
 		}
 		fig.X = append(fig.X, float64(n))
 		lb := core.LowerBound(p.g, p.plat)
-		ev := core.NewEvaluator()
-		order := sched.DF{}.Linearize(p.g)
+		popt := portfolio.Options{Workers: cfg.Workers}
 
-		sW, vW := sched.NewCkptW(0).Apply(p.g, p.plat, order, ev)
-		base = append(base, vW/lb)
+		rs := portfolio.Run([]sched.Heuristic{
+			{Lin: sched.DF{}, Strat: sched.NewCkptW(0)},
+			{Lin: sched.DF{}, Strat: sched.CkptGreedy{}},
+		}, p.g, p.plat, popt)
+		base = append(base, rs[0].Expected/lb)
+		greedy = append(greedy, rs[1].Expected/lb)
 
-		_, vG := sched.CkptGreedy{}.Apply(p.g, p.plat, order, ev)
-		greedy = append(greedy, vG/lb)
-
-		res := refine.Improve(sW, p.plat, refine.Options{MaxEvals: 20 * n})
+		// Refine the CkptW schedule the run above already produced
+		// (re-running the exhaustive sweep just to attach the engine's
+		// Refine stage would double the study's dominant cost).
+		res := refine.Improve(rs[0].Schedule, p.plat, refine.Options{MaxEvals: 20 * n})
 		refined = append(refined, res.Expected/lb)
 	}
 	for _, s := range []struct {

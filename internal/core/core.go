@@ -90,8 +90,20 @@ func Eval(s *Schedule, p failure.Platform) float64 {
 }
 
 // Evaluator computes expected makespans, reusing internal buffers
-// across calls. It is not safe for concurrent use; create one
-// evaluator per goroutine.
+// across calls. It is not safe for concurrent use.
+//
+// # Ownership rule
+//
+// An Evaluator is owned by exactly one goroutine at a time: every
+// buffer is overwritten by each Eval call, so two goroutines sharing
+// one evaluator silently corrupt each other's results (or trip the
+// race detector). Parallel engines must give each worker its own
+// evaluator — either one per goroutine for its lifetime (as
+// internal/mc does via per-shard runners) or through a checked-out
+// lease from a pool that hands any evaluator to at most one worker
+// at a time (as internal/portfolio's evalPool enforces). Transferring
+// an evaluator between goroutines is safe only across a
+// happens-before edge (channel send, WaitGroup, pool mutex).
 type Evaluator struct {
 	// Position-space views of the current schedule (1-based: index 0
 	// unused so the code mirrors the paper's T_1..T_n notation).

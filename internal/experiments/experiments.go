@@ -15,6 +15,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/failure"
 	"repro/internal/mc"
+	"repro/internal/portfolio"
 	"repro/internal/pwg"
 	"repro/internal/report"
 	"repro/internal/sched"
@@ -163,9 +164,33 @@ func AllSpecs() []Spec {
 		{ID: "fig7d", Title: "Genome: 200 tasks, c=0.1w (λ sweep)",
 			Workflow: pwg.Genome, Cost: Proportional(0.1), Kind: CheckpointImpact,
 			N: 200, Lambdas: lambdaSweep(1e-6, 2.7e-4)},
+
+		// Scaled scenarios beyond the paper: the same checkpointing-
+		// impact experiment pushed to n = 2000 (the paper stops at
+		// 700), which the parallel portfolio engine makes tractable.
+		// These specs pin their own x-axis (spec.Sizes beats
+		// Config.Sizes), so the -quick harness mode cannot silently
+		// shrink them back to paper sizes; bound the per-size cost
+		// with Config.Grid instead.
+		{ID: "scale-montage", Title: "Montage: λ=0.001, c=0.1w, n→2000 (scaled portfolio)",
+			Workflow: pwg.Montage, Lambda: 1e-3, Cost: Proportional(0.1), Kind: CheckpointImpact,
+			Sizes: ScaledSizes()},
+		{ID: "scale-cybershake", Title: "CyberShake: λ=0.001, c=0.1w, n→2000 (scaled portfolio)",
+			Workflow: pwg.CyberShake, Lambda: 1e-3, Cost: Proportional(0.1), Kind: CheckpointImpact,
+			Sizes: ScaledSizes()},
+		{ID: "scale-ligo", Title: "Ligo: λ=0.001, c=0.1w, n→2000 (scaled portfolio)",
+			Workflow: pwg.Ligo, Lambda: 1e-3, Cost: Proportional(0.1), Kind: CheckpointImpact,
+			Sizes: ScaledSizes()},
+		{ID: "scale-genome", Title: "Genome: λ=0.0001, c=0.1w, n→2000 (scaled portfolio)",
+			Workflow: pwg.Genome, Lambda: 1e-4, Cost: Proportional(0.1), Kind: CheckpointImpact,
+			Sizes: ScaledSizes()},
 	}
 	return specs
 }
+
+// ScaledSizes is the x-axis of the scale-* scenarios: from the
+// paper's ceiling up to nearly 3× beyond it.
+func ScaledSizes() []int { return []int{700, 1000, 1500, 2000} }
 
 // SpecByID returns the figure spec with the given ID.
 func SpecByID(id string) (Spec, error) {
@@ -198,6 +223,9 @@ type point struct {
 }
 
 // pointsFor expands a spec (and config overrides) into its x-axis.
+// A spec with explicit Sizes pins its x-axis (the scaled scenarios
+// must not be shrunk by harness-wide -quick size overrides); copy the
+// spec and overwrite Sizes to override deliberately.
 func pointsFor(spec Spec, cfg Config) (pts []point, xs []float64, xlabel string) {
 	if len(spec.Lambdas) > 0 {
 		xlabel = "lambda"
@@ -207,9 +235,9 @@ func pointsFor(spec Spec, cfg Config) (pts []point, xs []float64, xlabel string)
 		}
 		return pts, xs, xlabel
 	}
-	sizes := cfg.Sizes
+	sizes := spec.Sizes
 	if sizes == nil {
-		sizes = spec.Sizes
+		sizes = cfg.Sizes
 	}
 	if sizes == nil {
 		sizes = DefaultSizes()
@@ -222,26 +250,38 @@ func pointsFor(spec Spec, cfg Config) (pts []point, xs []float64, xlabel string)
 	return pts, xs, xlabel
 }
 
-// forEachPoint runs fn over every point on a bounded worker pool,
-// giving each worker its own reusable evaluator. The first error
-// aborts the result.
-func forEachPoint(pts []point, workers int, fn func(ev *core.Evaluator, pt point) error) error {
+// forEachPoint runs fn over every point on a bounded worker pool.
+// The worker budget is split across the two levels of parallelism:
+// points run concurrently (the historical axis, ideal for figure
+// sweeps with many x-values), and each point hands the rest of the
+// budget to the portfolio engine as cellWorkers (the axis that
+// matters for the scaled single-point scenarios at n = 2000). Both
+// levels are deterministic for any split, so the split is purely a
+// throughput decision. The first error aborts the result.
+func forEachPoint(pts []point, workers int, fn func(pt point, cellWorkers int) error) error {
+	if len(pts) == 0 {
+		return nil
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(pts) {
-		workers = len(pts)
+	pointWorkers := workers
+	if pointWorkers > len(pts) {
+		pointWorkers = len(pts)
+	}
+	cellWorkers := workers / pointWorkers
+	if cellWorkers < 1 {
+		cellWorkers = 1
 	}
 	work := make(chan point)
 	errs := make(chan error, len(pts))
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < pointWorkers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ev := core.NewEvaluator()
 			for pt := range work {
-				if err := fn(ev, pt); err != nil {
+				if err := fn(pt, cellWorkers); err != nil {
 					errs <- err
 				}
 			}
@@ -265,8 +305,8 @@ func Run(spec Spec, cfg Config) (*report.Figure, error) {
 		ys[i] = make([]float64, len(pts))
 	}
 
-	err := forEachPoint(pts, cfg.Workers, func(ev *core.Evaluator, pt point) error {
-		vals, err := evalPoint(spec, cfg, pt, ev)
+	err := forEachPoint(pts, cfg.Workers, func(pt point, cellWorkers int) error {
+		vals, err := evalPoint(spec, cfg, pt, cellWorkers)
 		if err != nil {
 			return fmt.Errorf("%s at x=%d: %w", spec.ID, pt.n, err)
 		}
@@ -311,8 +351,8 @@ func ValidateMC(spec Spec, cfg Config, trials int) (analytic, validation *report
 		pt point
 	}
 	slots := make([]slot, len(pts)*nSeries)
-	err = forEachPoint(pts, cfg.Workers, func(ev *core.Evaluator, pt point) error {
-		vals, err := evalPoint(spec, cfg, pt, ev)
+	err = forEachPoint(pts, cfg.Workers, func(pt point, cellWorkers int) error {
+		vals, err := evalPoint(spec, cfg, pt, cellWorkers)
 		if err != nil {
 			return fmt.Errorf("%s at x=%d: %w", spec.ID, pt.n, err)
 		}
@@ -389,9 +429,12 @@ type seriesPoint struct {
 	Tinf  float64
 }
 
-// evalPoint computes every series value at one x-point. The workflow
-// instance is shared by all series, mirroring the paper's setup.
-func evalPoint(spec Spec, cfg Config, pt point, ev *core.Evaluator) ([]seriesPoint, error) {
+// evalPoint computes every series value at one x-point by running
+// the point's heuristic set through the parallel portfolio engine
+// with cellWorkers workers. The workflow instance is shared by all
+// series, mirroring the paper's setup; the engine's determinism
+// contract keeps the figures identical for every worker count.
+func evalPoint(spec Spec, cfg Config, pt point, cellWorkers int) ([]seriesPoint, error) {
 	seed := cfg.Seed ^ (uint64(pt.n) * 0x9e3779b97f4a7c15) ^ uint64(spec.Workflow+1)
 	g, err := pwg.Generate(spec.Workflow, pt.n, seed)
 	if err != nil {
@@ -401,40 +444,55 @@ func evalPoint(spec Spec, cfg Config, pt point, ev *core.Evaluator) ([]seriesPoi
 	plat := failure.Platform{Lambda: pt.lambda}
 	opt := sched.Options{RFSeed: seed ^ 0xabcdef, Grid: cfg.Grid}
 	tinf := g.TotalWeight()
-
-	eval := func(h sched.Heuristic) seriesPoint {
-		r := h.RunWith(g, plat, ev)
-		return seriesPoint{Ratio: r.Expected / tinf, Sched: r.Schedule, Plat: plat, Tinf: tinf}
-	}
+	popt := portfolio.Options{Workers: cellWorkers}
 	lins := []sched.Linearizer{sched.DF{}, sched.BF{}, sched.RF{Seed: opt.RFSeed}}
 
+	toPoint := func(r sched.Result) seriesPoint {
+		return seriesPoint{Ratio: r.Expected / tinf, Sched: r.Schedule, Plat: plat, Tinf: tinf}
+	}
+
 	if spec.Kind == LinearizationImpact {
-		out := make([]seriesPoint, 0, 6)
-		for _, strat := range []sched.Strategy{sched.NewCkptW(cfg.Grid), sched.NewCkptC(cfg.Grid)} {
-			for _, lin := range lins {
-				out = append(out, eval(sched.Heuristic{Lin: lin, Strat: strat}))
-			}
-		}
 		// Order: DF-W, BF-W, RF-W, DF-C, BF-C, RF-C (matches
 		// seriesNamesFor).
+		var hs []sched.Heuristic
+		for _, strat := range []sched.Strategy{sched.NewCkptW(cfg.Grid), sched.NewCkptC(cfg.Grid)} {
+			for _, lin := range lins {
+				hs = append(hs, sched.Heuristic{Lin: lin, Strat: strat})
+			}
+		}
+		rs := portfolio.Run(hs, g, plat, popt)
+		out := make([]seriesPoint, 0, len(rs))
+		for _, r := range rs {
+			out = append(out, toPoint(r))
+		}
 		return out, nil
 	}
 
 	// CheckpointImpact: each strategy plotted with its best
 	// linearization (the baselines use DF only, as in Section 5).
-	out := make([]seriesPoint, 0, 6)
-	out = append(out, eval(sched.Heuristic{Lin: sched.DF{}, Strat: sched.CkptNvr{}}))
-	out = append(out, eval(sched.Heuristic{Lin: sched.DF{}, Strat: sched.CkptAlws{}}))
-	for _, strat := range []sched.Strategy{
+	// All 14 heuristics go through the engine in one pass; the
+	// best-linearization reduction happens on the results.
+	strats := []sched.Strategy{
 		sched.CkptPer{Grid: cfg.Grid},
 		sched.NewCkptW(cfg.Grid),
 		sched.NewCkptC(cfg.Grid),
 		sched.NewCkptD(cfg.Grid),
-	} {
-		var best seriesPoint
-		for i, lin := range lins {
-			sp := eval(sched.Heuristic{Lin: lin, Strat: strat})
-			if i == 0 || sp.Ratio < best.Ratio {
+	}
+	hs := []sched.Heuristic{
+		{Lin: sched.DF{}, Strat: sched.CkptNvr{}},
+		{Lin: sched.DF{}, Strat: sched.CkptAlws{}},
+	}
+	for _, strat := range strats {
+		for _, lin := range lins {
+			hs = append(hs, sched.Heuristic{Lin: lin, Strat: strat})
+		}
+	}
+	rs := portfolio.Run(hs, g, plat, popt)
+	out := []seriesPoint{toPoint(rs[0]), toPoint(rs[1])}
+	for si := range strats {
+		best := toPoint(rs[2+si*len(lins)])
+		for li := 1; li < len(lins); li++ {
+			if sp := toPoint(rs[2+si*len(lins)+li]); sp.Ratio < best.Ratio {
 				best = sp
 			}
 		}

@@ -14,8 +14,8 @@ var fastCfg = Config{Grid: 8, Seed: 1, Sizes: []int{40, 60}, Workers: 4}
 
 func TestAllSpecsComplete(t *testing.T) {
 	specs := AllSpecs()
-	if len(specs) != 22 {
-		t.Fatalf("AllSpecs returned %d figures, want 22 (3+4+3+4+4+4)", len(specs))
+	if len(specs) != 26 {
+		t.Fatalf("AllSpecs returned %d figures, want 26 (3+4+3+4+4+4 paper + 4 scaled)", len(specs))
 	}
 	ids := map[string]bool{}
 	for _, s := range specs {
@@ -28,10 +28,39 @@ func TestAllSpecsComplete(t *testing.T) {
 		}
 	}
 	for _, want := range []string{"fig2a", "fig2b", "fig2c", "fig3a", "fig3b", "fig3c", "fig3d",
-		"fig4a", "fig4b", "fig4c", "fig5a", "fig5d", "fig6a", "fig6d", "fig7a", "fig7d"} {
+		"fig4a", "fig4b", "fig4c", "fig5a", "fig5d", "fig6a", "fig6d", "fig7a", "fig7d",
+		"scale-montage", "scale-cybershake", "scale-ligo", "scale-genome"} {
 		if !ids[want] {
 			t.Fatalf("missing figure %s", want)
 		}
+	}
+}
+
+// The scaled scenarios must pin their own x-axis (reaching n = 2000)
+// so that harness-wide size overrides cannot shrink them, and they
+// must run end-to-end through the portfolio engine (here with a
+// reduced spec copy, exactly how a caller overrides deliberately).
+func TestScaledSpecs(t *testing.T) {
+	spec, err := SpecByID("scale-cybershake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.Sizes[len(spec.Sizes)-1]; got != 2000 {
+		t.Fatalf("scaled spec tops out at n=%d, want 2000", got)
+	}
+	// cfg.Sizes must NOT override the pinned axis…
+	pts, xs, _ := pointsFor(spec, Config{Sizes: []int{10}})
+	if len(pts) != len(spec.Sizes) || xs[len(xs)-1] != 2000 {
+		t.Fatalf("Config.Sizes overrode a pinned spec axis: %v", xs)
+	}
+	// …but a deliberate spec-copy override works, and the figure runs.
+	spec.Sizes = []int{30, 45}
+	fig, err := Run(spec, Config{Grid: 6, Seed: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 6 || len(fig.X) != 2 {
+		t.Fatalf("scaled figure shape wrong: %d series, X=%v", len(fig.Series), fig.X)
 	}
 }
 

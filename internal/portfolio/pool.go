@@ -1,0 +1,101 @@
+package portfolio
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// evalPool leases core.Evaluators to worker goroutines. Evaluators
+// are stateful (every Eval overwrites their buffers), so the pool
+// enforces core's ownership rule: an evaluator is checked out to at
+// most one worker at a time, and both a double lease and a double
+// return panic immediately instead of silently corrupting results.
+// Evaluators are reused across the engine's stages (first-stage
+// sweep, second-stage scan, refinement), which keeps allocation
+// proportional to the worker count rather than the cell count.
+type evalPool struct {
+	mu     sync.Mutex
+	free   []*core.Evaluator
+	leased map[*core.Evaluator]bool
+}
+
+func newEvalPool() *evalPool {
+	return &evalPool{leased: make(map[*core.Evaluator]bool)}
+}
+
+// get leases an evaluator to the calling goroutine.
+func (p *evalPool) get() *core.Evaluator {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var ev *core.Evaluator
+	if n := len(p.free); n > 0 {
+		ev = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		ev = core.NewEvaluator()
+	}
+	if p.leased[ev] {
+		panic("portfolio: evaluator leased to two workers")
+	}
+	p.leased[ev] = true
+	return ev
+}
+
+// put returns a leased evaluator to the pool.
+func (p *evalPool) put(ev *core.Evaluator) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.leased[ev] {
+		panic("portfolio: evaluator returned twice (or never leased)")
+	}
+	delete(p.leased, ev)
+	p.free = append(p.free, ev)
+}
+
+// forEach runs fn(ev, i) for every i in [0, count) on a pool of at
+// most `workers` goroutines (≤ 0: GOMAXPROCS), each holding one
+// leased evaluator for its lifetime. fn must write its result to a
+// slot indexed by i; the WaitGroup provides the happens-before edge
+// that publishes those writes to the caller. Which worker runs which
+// index is scheduler-dependent — fn must be a pure function of i for
+// the engine's determinism contract to hold.
+func (p *evalPool) forEach(workers, count int, fn func(ev *core.Evaluator, i int)) {
+	if count <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > count {
+		workers = count
+	}
+	if workers == 1 {
+		// Serial path: same lease discipline, no goroutines.
+		ev := p.get()
+		defer p.put(ev)
+		for i := 0; i < count; i++ {
+			fn(ev, i)
+		}
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev := p.get()
+			defer p.put(ev)
+			for i := range work {
+				fn(ev, i)
+			}
+		}()
+	}
+	for i := 0; i < count; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}

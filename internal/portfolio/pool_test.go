@@ -1,0 +1,112 @@
+package portfolio
+
+// Concurrency-safety tests for the evaluator pool: core.Evaluator's
+// ownership rule says one goroutine at a time, and the pool is the
+// engine's enforcement point. Run the whole package under -race (CI
+// does) — any evaluator shared between workers would trip both the
+// race detector and the pool's lease guard.
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pwg"
+	"repro/internal/sched"
+)
+
+// The pool must never lease one evaluator to two concurrent holders:
+// evaluators handed out while others are outstanding are distinct.
+func TestEvalPoolDistinctLeases(t *testing.T) {
+	p := newEvalPool()
+	const k = 16
+	seen := make(map[interface{}]bool, k)
+	for i := 0; i < k; i++ {
+		ev := p.get()
+		if seen[ev] {
+			t.Fatal("pool leased the same evaluator twice without a return")
+		}
+		seen[ev] = true
+	}
+}
+
+// Returning an evaluator that is not on lease must panic loudly
+// instead of corrupting the free list.
+func TestEvalPoolDoubleReturnPanics(t *testing.T) {
+	p := newEvalPool()
+	ev := p.get()
+	p.put(ev)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double return did not panic")
+		}
+	}()
+	p.put(ev)
+}
+
+// A leased evaluator must not reappear from get until it is returned;
+// after the return it is recycled.
+func TestEvalPoolRecyclesAfterReturn(t *testing.T) {
+	p := newEvalPool()
+	ev := p.get()
+	other := p.get()
+	if other == ev {
+		t.Fatal("outstanding lease recycled")
+	}
+	p.put(ev)
+	if got := p.get(); got != ev {
+		t.Fatal("returned evaluator not recycled (LIFO expected)")
+	}
+	p.put(other)
+}
+
+// forEach must hold the lease invariant under heavy contention: many
+// workers, many cells, no evaluator ever observed in two cells at
+// once. The ownership map would also race under -race if the pool
+// ever handed one evaluator to two workers.
+func TestForEachLeaseInvariant(t *testing.T) {
+	p := newEvalPool()
+	var mu sync.Mutex
+	inUse := make(map[*core.Evaluator]bool)
+	covered := 0
+	p.forEach(8, 500, func(ev *core.Evaluator, i int) {
+		mu.Lock()
+		if inUse[ev] {
+			mu.Unlock()
+			t.Error("one evaluator handed to two concurrent cells")
+			return
+		}
+		inUse[ev] = true
+		covered++
+		mu.Unlock()
+
+		runtime.Gosched() // widen the window for overlap bugs
+
+		mu.Lock()
+		inUse[ev] = false
+		mu.Unlock()
+	})
+	if covered != 500 {
+		t.Fatalf("forEach ran %d of 500 cells", covered)
+	}
+	if len(p.leased) != 0 {
+		t.Fatalf("%d evaluators still on lease after forEach", len(p.leased))
+	}
+}
+
+// The full engine under load: every stage (sweep, second-stage scan,
+// refinement) drawing from one pool with more workers than cores.
+// Run with -race; evaluator sharing would be detected either by the
+// detector or by the pool's panic guards.
+func TestPortfolioRaceStress(t *testing.T) {
+	g := testGraph(t, pwg.CyberShake, 50, 21)
+	hs := sched.Paper14(sched.Options{RFSeed: 7, Grid: 9})
+	want := fingerprint(Run(hs, g, plat, Options{Workers: 1, Refine: true}))
+	for i := 0; i < 3; i++ {
+		got := fingerprint(Run(hs, g, plat, Options{Workers: 2 * runtime.NumCPU(), ChunkSize: 2, Refine: true}))
+		if got != want {
+			t.Fatalf("stressed run %d diverged from serial", i)
+		}
+	}
+}

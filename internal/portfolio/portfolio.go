@@ -1,0 +1,273 @@
+// Package portfolio is a deterministic parallel search engine for
+// the paper's heuristic portfolio. The Section 5 heuristics — every
+// linearization × checkpointing-strategy pair of sched.Paper14, each
+// sweeping checkpoint counts N = 1..n−1 (or a grid) through the
+// Theorem 3 evaluator — are embarrassingly parallel work over
+// independent (heuristic, N-chunk) cells, yet used to run serially
+// through one core.Evaluator, which capped experiments at the paper's
+// n = 700. This engine fans the cells out over a worker pool, one
+// pooled evaluator per worker (evaluators are stateful and must never
+// be shared across goroutines — see the ownership rule in core's
+// Evaluator docs), and makes n = 2000 sweeps tractable.
+//
+// # Determinism contract
+//
+// Mirroring internal/mc, the result is bit-identical for every
+// Workers value. Each cell is a pure function of its inputs: it
+// evaluates a fixed slice of one heuristic's N sweep with its own
+// evaluator and reports the best (expected makespan, checkpoint
+// count, N) candidate under sched.CanonicalBetter — a total order
+// (lower makespan, then fewer checkpoints, then lower N / heuristic
+// index), so reducing any partition of the candidates yields the same
+// winner regardless of which worker ran which cell or in which order
+// cells finished. The serial path is the same machinery with one
+// worker, and Run with any worker count returns exactly what
+// sched.RunAll returns (sweepApply shares the cell primitives), so
+// schedules and expected makespans are byte-identical across worker
+// counts — enforced by this package's property-based tests.
+//
+// # Optimality
+//
+// The engine searches the same space as the serial heuristics, so
+// every guarantee carries over: the winner is never below
+// core.LowerBound, and with Options.Refine enabled the refined winner
+// stays within 2% of the brute-force optimum on exhaustively
+// enumerable instances (n ≤ 8) and matches the Toueg–Babaoğlu chain
+// optimum exactly on linear chains — both enforced by this package's
+// adversarial tests against internal/bruteforce and internal/chains.
+package portfolio
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/refine"
+	"repro/internal/sched"
+)
+
+// DefaultChunkSize is the number of sweep N values per cell when
+// Options.ChunkSize is unset: small enough to load-balance a pool on
+// grid sweeps (~60 values), large enough that the per-cell masker
+// setup (one O(n log n) ranking) is amortized on exhaustive sweeps.
+const DefaultChunkSize = 32
+
+// Options tunes one engine invocation. The zero value runs the full
+// portfolio on all cores without refinement.
+type Options struct {
+	// Workers bounds pool parallelism (≤ 0: GOMAXPROCS). The result
+	// does not depend on it.
+	Workers int
+	// ChunkSize is the number of sweep N values per cell (≤ 0:
+	// DefaultChunkSize). The result does not depend on it either —
+	// chunking only changes how the candidate set is partitioned.
+	ChunkSize int
+	// Refine hill-climbs every heuristic's winning schedule with
+	// refine.ImproveWith before the final reduction, one parallel
+	// cell per heuristic.
+	Refine bool
+	// RefineMaxEvals caps each refinement's evaluator calls (≤ 0:
+	// refine's default of 50·n).
+	RefineMaxEvals int
+}
+
+// cellBest is one cell's winning candidate.
+type cellBest struct {
+	val   float64
+	n     int            // winning sweep count (-1: none / opaque strategy)
+	k     int            // checkpoints actually set
+	mask  []bool         // sweep cells: winning checkpoint mask
+	sched *core.Schedule // opaque cells: ready schedule from Apply
+}
+
+// better reports whether candidate b beats a under the canonical
+// order (sweep index = N).
+func (a *cellBest) better(b *cellBest) bool {
+	return sched.CanonicalBetter(b.val, b.k, b.n, a.val, a.k, a.n)
+}
+
+// merge folds cell candidate b into the per-heuristic best a.
+func (a *cellBest) merge(b *cellBest) {
+	if a.better(b) {
+		*a = *b
+	}
+}
+
+// cell is one unit of parallel work: a slice of heuristic h's N
+// sweep, or (ns == nil) one opaque Strategy.Apply call.
+type cell struct {
+	h  int
+	ns []int
+}
+
+// Run evaluates every heuristic of hs on workflow g and platform plat
+// and returns per-heuristic results in input order, exactly equal to
+// sched.RunAll's output (plus refinement when Options.Refine is set)
+// for every worker count. Pick the overall winner with Best.
+func Run(hs []sched.Heuristic, g *dag.Graph, plat failure.Platform, opt Options) []sched.Result {
+	n := g.N()
+	tinf := g.TotalWeight()
+	chunk := opt.ChunkSize
+	if chunk <= 0 {
+		chunk = DefaultChunkSize
+	}
+	pool := newEvalPool()
+
+	// Linearizations are cheap (O(n log n)) and deterministic; compute
+	// them once up front so every cell of a heuristic shares one order
+	// slice (cells only read it).
+	orders := make([][]int, len(hs))
+	sweeps := make([][]int, len(hs)) // nil: opaque strategy, run Apply whole
+	for i, h := range hs {
+		orders[i] = h.Lin.Linearize(g)
+		if sw, ok := h.Strat.(sched.NSweeper); ok {
+			if ns := sw.Sweep(n); len(ns) > 0 {
+				sweeps[i] = ns
+			}
+		}
+	}
+
+	best := make([]cellBest, len(hs))
+	for i := range best {
+		best[i] = cellBest{val: math.Inf(1), n: -1}
+	}
+
+	// Stage 1: the first-stage sweeps (and every opaque strategy),
+	// chunked into cells.
+	var cells []cell
+	for i := range hs {
+		if sweeps[i] == nil {
+			cells = append(cells, cell{h: i})
+			continue
+		}
+		for lo := 0; lo < len(sweeps[i]); lo += chunk {
+			hi := lo + chunk
+			if hi > len(sweeps[i]) {
+				hi = len(sweeps[i])
+			}
+			cells = append(cells, cell{h: i, ns: sweeps[i][lo:hi]})
+		}
+	}
+	runCells(pool, opt.Workers, cells, hs, g, plat, orders, best)
+
+	// Stage 2: grid sweeps exhaustively scan the gap around their
+	// first-stage winner (sched's sweepApply does the same serially).
+	// The scan range depends on every stage-1 cell of the heuristic,
+	// hence the barrier between the stages.
+	cells = cells[:0]
+	for i := range hs {
+		if sweeps[i] == nil {
+			continue
+		}
+		sw := hs[i].Strat.(sched.NSweeper)
+		lo, hi := sw.SecondStage(n, best[i].n, sweeps[i])
+		if lo > hi {
+			continue
+		}
+		var ns []int
+		for N := lo; N <= hi; N++ {
+			if N != best[i].n {
+				ns = append(ns, N)
+			}
+		}
+		for c := 0; c < len(ns); c += chunk {
+			e := c + chunk
+			if e > len(ns) {
+				e = len(ns)
+			}
+			cells = append(cells, cell{h: i, ns: ns[c:e]})
+		}
+	}
+	runCells(pool, opt.Workers, cells, hs, g, plat, orders, best)
+
+	// Assemble per-heuristic results in input order.
+	out := make([]sched.Result, len(hs))
+	for i, h := range hs {
+		s := best[i].sched
+		if s == nil {
+			s = &core.Schedule{Graph: g, Order: orders[i], Ckpt: best[i].mask}
+		}
+		ratio := 0.0
+		if tinf > 0 {
+			ratio = best[i].val / tinf
+		}
+		out[i] = sched.Result{Name: h.Name(), Schedule: s, Expected: best[i].val, Ratio: ratio}
+	}
+
+	// Optional refinement pass: hill-climb every heuristic's winner,
+	// one cell per heuristic. Refinement is deterministic given its
+	// input schedule, so the contract is preserved.
+	if opt.Refine {
+		pool.forEach(opt.Workers, len(out), func(ev *core.Evaluator, i int) {
+			res := refine.ImproveWith(out[i].Schedule, plat,
+				refine.Options{MaxEvals: opt.RefineMaxEvals}, ev)
+			if res.Expected < out[i].Expected {
+				out[i].Schedule = res.Schedule
+				out[i].Expected = res.Expected
+				if tinf > 0 {
+					out[i].Ratio = res.Expected / tinf
+				}
+			}
+		})
+	}
+	return out
+}
+
+// runCells evaluates a batch of cells on the pool and merges each
+// cell's candidate into its heuristic's running best, in cell order.
+// (The comparator is a total order, so merge order is immaterial —
+// iterating in cell order just makes that obvious.)
+func runCells(pool *evalPool, workers int, cells []cell, hs []sched.Heuristic,
+	g *dag.Graph, plat failure.Platform, orders [][]int, best []cellBest) {
+	results := make([]cellBest, len(cells))
+	pool.forEach(workers, len(cells), func(ev *core.Evaluator, ci int) {
+		c := cells[ci]
+		if c.ns == nil {
+			s, v := hs[c.h].Strat.Apply(g, plat, orders[c.h], ev)
+			results[ci] = cellBest{val: v, n: -1, k: s.NumCheckpointed(), sched: s}
+			return
+		}
+		results[ci] = sweepCell(hs[c.h].Strat.(sched.NSweeper), g, plat, orders[c.h], c.ns, ev)
+	})
+	for ci := range cells {
+		best[cells[ci].h].merge(&results[ci])
+	}
+}
+
+// sweepCell evaluates one slice of an NSweeper's checkpoint-count
+// sweep and returns the slice's best candidate.
+func sweepCell(sw sched.NSweeper, g *dag.Graph, plat failure.Platform, order, ns []int, ev *core.Evaluator) cellBest {
+	masker := sw.NewMasker(g, order)
+	mask := make([]bool, g.N())
+	s := &core.Schedule{Graph: g, Order: order, Ckpt: mask}
+	best := cellBest{val: math.Inf(1), n: -1}
+	for _, N := range ns {
+		masker(N, mask)
+		v := ev.Eval(s, plat)
+		k := s.NumCheckpointed()
+		if sched.CanonicalBetter(v, k, N, best.val, best.k, best.n) {
+			best.val, best.k, best.n = v, k, N
+			best.mask = append(best.mask[:0], mask...)
+		}
+	}
+	return best
+}
+
+// Best returns the canonical winner of a portfolio run: best expected
+// makespan, then fewest checkpoints, then lowest heuristic index —
+// the cross-heuristic leg of the determinism contract.
+func Best(results []sched.Result) sched.Result {
+	if len(results) == 0 {
+		panic("portfolio: Best of empty results")
+	}
+	bi := 0
+	for i := 1; i < len(results); i++ {
+		if sched.CanonicalBetter(
+			results[i].Expected, results[i].Schedule.NumCheckpointed(), i,
+			results[bi].Expected, results[bi].Schedule.NumCheckpointed(), bi) {
+			bi = i
+		}
+	}
+	return results[bi]
+}

@@ -1,0 +1,203 @@
+package portfolio
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/pwg"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+var plat = failure.Platform{Lambda: 1e-3}
+
+// testGraph builds a pwg workflow with the paper's main cost model.
+func testGraph(t testing.TB, wf pwg.Workflow, n int, seed uint64) *dag.Graph {
+	t.Helper()
+	g, err := pwg.Generate(wf, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ScaleCkptCosts(func(tk dag.Task) (float64, float64) {
+		return 0.1 * tk.Weight, 0.1 * tk.Weight
+	})
+	return g
+}
+
+// fingerprint renders a result's schedule and value as a byte string,
+// so equality means bit-identical winning schedules.
+func fingerprint(rs []sched.Result) string {
+	out := ""
+	for _, r := range rs {
+		out += fmt.Sprintf("%s|%x|%v|%v\n",
+			r.Name, math.Float64bits(r.Expected), r.Schedule.Order, r.Schedule.Ckpt)
+	}
+	return out
+}
+
+// The engine with any worker count must return exactly what the
+// serial sched.RunAll returns: same expected makespans (bitwise) and
+// same schedule bytes.
+func TestRunMatchesSerialRunAll(t *testing.T) {
+	for _, grid := range []int{0, 7} {
+		g := testGraph(t, pwg.Montage, 60, 3)
+		hs := sched.Paper14(sched.Options{RFSeed: 11, Grid: grid})
+		serial := sched.RunAll(hs, g, plat)
+		want := fingerprint(serial)
+		for _, workers := range []int{1, 2, 3, runtime.NumCPU()} {
+			for _, chunk := range []int{0, 1, 5, 1000} {
+				rs := Run(hs, g, plat, Options{Workers: workers, ChunkSize: chunk})
+				if got := fingerprint(rs); got != want {
+					t.Fatalf("grid=%d workers=%d chunk=%d diverges from serial RunAll:\n got %s\nwant %s",
+						grid, workers, chunk, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Workers exceeding the number of cells (and trials) must be clamped,
+// not deadlock or change results.
+func TestWorkersExceedCells(t *testing.T) {
+	g := testGraph(t, pwg.Ligo, 12, 5)
+	hs := []sched.Heuristic{
+		{Lin: sched.DF{}, Strat: sched.CkptNvr{}},
+		{Lin: sched.DF{}, Strat: sched.NewCkptW(0)},
+	}
+	want := fingerprint(Run(hs, g, plat, Options{Workers: 1}))
+	got := fingerprint(Run(hs, g, plat, Options{Workers: 64, ChunkSize: 1000}))
+	if got != want {
+		t.Fatalf("workers=64 over 2 heuristics diverged:\n got %s\nwant %s", got, want)
+	}
+}
+
+// A single-task workflow has no N to sweep; the engine must fall back
+// like the serial strategies do (CkptNvr).
+func TestSingleTaskGraph(t *testing.T) {
+	g := dag.Chain([]float64{42}, func(int, float64) (float64, float64) { return 4.2, 4.2 })
+	hs := sched.Paper14(sched.Options{RFSeed: 1})
+	rs := Run(hs, g, plat, Options{Workers: 4})
+	want := fingerprint(sched.RunAll(hs, g, plat))
+	if got := fingerprint(rs); got != want {
+		t.Fatalf("n=1 diverged:\n got %s\nwant %s", got, want)
+	}
+	for _, r := range rs {
+		if r.Schedule.NumCheckpointed() != 0 && r.Name != "DF-CkptAlws" {
+			t.Fatalf("%s checkpointed a single-task workflow", r.Name)
+		}
+	}
+}
+
+// Best must apply the canonical cross-heuristic tie-break: expected
+// makespan, then checkpoint count, then heuristic index.
+func TestBestCanonical(t *testing.T) {
+	g := dag.Chain([]float64{10, 10}, nil)
+	mk := func(ck ...bool) *core.Schedule {
+		return &core.Schedule{Graph: g, Order: []int{0, 1}, Ckpt: ck}
+	}
+	rs := []sched.Result{
+		{Name: "a", Expected: 5, Schedule: mk(true, true)},
+		{Name: "b", Expected: 5, Schedule: mk(true, false)},
+		{Name: "c", Expected: 5, Schedule: mk(false, true)},
+		{Name: "d", Expected: 6, Schedule: mk(false, false)},
+	}
+	if got := Best(rs).Name; got != "b" {
+		t.Fatalf("Best = %q, want \"b\" (fewest checkpoints, lowest index)", got)
+	}
+	rs[3].Expected = 4
+	if got := Best(rs).Name; got != "d" {
+		t.Fatalf("Best = %q, want \"d\" (lowest makespan dominates)", got)
+	}
+}
+
+func TestBestEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Best of empty results did not panic")
+		}
+	}()
+	Best(nil)
+}
+
+// Refinement must never worsen a result, must be reflected in both
+// Expected and Ratio, and must stay deterministic across workers.
+func TestRefine(t *testing.T) {
+	g := testGraph(t, pwg.CyberShake, 40, 9)
+	hs := sched.Paper14(sched.Options{RFSeed: 2})
+	base := Run(hs, g, plat, Options{Workers: 2})
+	ref1 := Run(hs, g, plat, Options{Workers: 1, Refine: true, RefineMaxEvals: 500})
+	refN := Run(hs, g, plat, Options{Workers: runtime.NumCPU(), Refine: true, RefineMaxEvals: 500})
+	if got, want := fingerprint(refN), fingerprint(ref1); got != want {
+		t.Fatalf("refined results depend on worker count:\n got %s\nwant %s", got, want)
+	}
+	improvedAny := false
+	tinf := g.TotalWeight()
+	for i := range base {
+		if ref1[i].Expected > base[i].Expected+1e-12*base[i].Expected {
+			t.Fatalf("%s: refinement worsened %v -> %v", base[i].Name, base[i].Expected, ref1[i].Expected)
+		}
+		if ref1[i].Expected < base[i].Expected {
+			improvedAny = true
+		}
+		if want := ref1[i].Expected / tinf; math.Abs(ref1[i].Ratio-want) > 1e-12 {
+			t.Fatalf("%s: Ratio %v not updated to %v after refinement", ref1[i].Name, ref1[i].Ratio, want)
+		}
+		if err := ref1[i].Schedule.Validate(); err != nil {
+			t.Fatalf("%s: refined schedule invalid: %v", ref1[i].Name, err)
+		}
+	}
+	if !improvedAny {
+		t.Log("refinement improved nothing on this instance (allowed, but unusual)")
+	}
+}
+
+// Every returned schedule must be a valid linearization with a
+// correctly sized mask — across sweepers, opaque strategies and both
+// engine stages.
+func TestSchedulesValid(t *testing.T) {
+	g := testGraph(t, pwg.Genome, 35, 17)
+	hs := append(sched.Paper14(sched.Options{RFSeed: 4, Grid: 5}),
+		sched.Heuristic{Lin: sched.BF{}, Strat: sched.CkptGreedy{Candidates: 8}})
+	for _, r := range Run(hs, g, plat, Options{Workers: 3}) {
+		if err := r.Schedule.Validate(); err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		if r.Expected <= 0 || math.IsInf(r.Expected, 0) || math.IsNaN(r.Expected) {
+			t.Fatalf("%s: bad expected makespan %v", r.Name, r.Expected)
+		}
+	}
+}
+
+// The engine must also accept a failure-free platform (λ = 0), where
+// the evaluator short-circuits.
+func TestFailureFreePlatform(t *testing.T) {
+	g := testGraph(t, pwg.Montage, 25, 8)
+	rs := Run(sched.Paper14(sched.Options{RFSeed: 1}), g, plat, Options{Workers: 2})
+	free := Run(sched.Paper14(sched.Options{RFSeed: 1}), g, failure.Platform{}, Options{Workers: 2})
+	if len(free) != len(rs) {
+		t.Fatal("result length mismatch")
+	}
+	best := Best(free)
+	if best.Schedule.NumCheckpointed() != 0 {
+		t.Fatalf("failure-free winner %s checkpoints %d tasks (checkpoints are pure cost)",
+			best.Name, best.Schedule.NumCheckpointed())
+	}
+}
+
+// Sanity for the rng-driven workers sweep used across the test file.
+func TestWorkerSweepCoversContract(t *testing.T) {
+	r := rng.New(1)
+	g := testGraph(t, pwg.Workflow(r.Intn(4)), 20+r.Intn(20), r.Uint64())
+	hs := sched.Paper14(sched.Options{RFSeed: r.Uint64(), Grid: 6})
+	want := fingerprint(Run(hs, g, plat, Options{Workers: 1}))
+	for _, w := range []int{2, 7, runtime.NumCPU()} {
+		if got := fingerprint(Run(hs, g, plat, Options{Workers: w})); got != want {
+			t.Fatalf("workers=%d diverged", w)
+		}
+	}
+}

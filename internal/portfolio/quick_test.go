@@ -1,0 +1,97 @@
+package portfolio
+
+// Property-based determinism test (the portfolio leg of the repo's
+// determinism contract): for arbitrary workflows — pwg generator
+// instances and the canonical dag shapes — the engine's results with
+// workers ∈ {1, 2, 7, NumCPU} are bit-identical: same expected
+// makespan bits, same winning-schedule bytes.
+
+import (
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/pwg"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// arbitraryGraph derives a random workflow from a seed: one of the
+// four pwg applications, a layered random DAG, or a chain/fork/join
+// shape with random weights.
+func arbitraryGraph(t *testing.T, seed uint64) *dag.Graph {
+	t.Helper()
+	r := rng.New(seed)
+	n := 8 + r.Intn(25)
+	costs := func(int, float64) (float64, float64) { return 0, 0 }
+	var g *dag.Graph
+	switch r.Intn(4) {
+	case 0:
+		var err error
+		g, err = pwg.Generate(pwg.Workflow(r.Intn(5)), n, r.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+	case 1:
+		ws := randWeights(r, n)
+		g = dag.Chain(ws, costs)
+	case 2:
+		ws := randWeights(r, n)
+		g = dag.Fork(ws, costs)
+	default:
+		ws := randWeights(r, n)
+		g = dag.Join(ws, costs)
+	}
+	alpha := 0.02 + 0.2*r.Float64()
+	g.ScaleCkptCosts(func(tk dag.Task) (float64, float64) {
+		return alpha * tk.Weight, alpha * tk.Weight
+	})
+	return g
+}
+
+func randWeights(r *rng.Source, n int) []float64 {
+	ws := make([]float64, n)
+	for i := range ws {
+		ws[i] = r.Uniform(1, 120)
+	}
+	return ws
+}
+
+func TestQuickWorkerCountInvariance(t *testing.T) {
+	workerSet := []int{1, 2, 7, runtime.NumCPU()}
+	property := func(seed uint64, useGrid bool) bool {
+		g := arbitraryGraph(t, seed)
+		r := rng.New(seed ^ 0xdeadbeef)
+		grid := 0
+		if useGrid {
+			grid = 3 + r.Intn(12)
+		}
+		lambda := []float64{1e-4, 1e-3, 1e-2}[r.Intn(3)]
+		p := failure.Platform{Lambda: lambda}
+		hs := sched.Paper14(sched.Options{RFSeed: r.Uint64(), Grid: grid})
+		opt := Options{Refine: r.Intn(2) == 0, RefineMaxEvals: 200}
+		var want string
+		for i, w := range workerSet {
+			opt.Workers = w
+			opt.ChunkSize = []int{0, 1, 4, 100}[r.Intn(4)]
+			got := fingerprint(Run(hs, g, p, opt))
+			if i == 0 {
+				want = got
+			} else if got != want {
+				t.Logf("seed=%d grid=%d workers=%d diverged:\n got %s\nwant %s",
+					seed, grid, w, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12}
+	if testing.Short() {
+		cfg.MaxCount = 3
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -42,7 +42,17 @@ type Result struct {
 // Improve hill-climbs from schedule s and returns the refined
 // schedule. The input schedule is not modified.
 func Improve(s *core.Schedule, plat failure.Platform, opt Options) Result {
-	ev := core.NewEvaluator()
+	return ImproveWith(s, plat, opt, core.NewEvaluator())
+}
+
+// ImproveWith is Improve with a caller-provided evaluator, so pooled
+// engines (internal/portfolio) can reuse per-worker evaluators across
+// refinement passes. The climb is fully deterministic: it visits
+// neighbourhoods in a fixed order and the evaluator's result depends
+// only on the schedule, so the outcome is independent of which worker
+// runs it. The evaluator must be owned by the calling goroutine for
+// the duration of the call.
+func ImproveWith(s *core.Schedule, plat failure.Platform, opt Options, ev *core.Evaluator) Result {
 	cur := s.Clone()
 	n := cur.Graph.N()
 	budget := opt.MaxEvals

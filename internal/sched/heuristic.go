@@ -90,8 +90,12 @@ func ByName(name string, o Options) (Heuristic, error) {
 	return Heuristic{}, fmt.Errorf("sched: unknown heuristic %q (valid: %v)", name, valid)
 }
 
-// RunAll executes every heuristic on g and returns the results in the
-// same order.
+// RunAll executes every heuristic on g serially, on one evaluator,
+// and returns the results in input order. It is the reference path of
+// the parallel engine in internal/portfolio, which produces exactly
+// the same results (both are built on the NSweeper primitives and
+// CanonicalBetter) while fanning the sweeps out over a worker pool —
+// prefer portfolio.Run wherever a -workers knob makes sense.
 func RunAll(hs []Heuristic, g *dag.Graph, plat failure.Platform) []Result {
 	ev := core.NewEvaluator()
 	out := make([]Result, 0, len(hs))

@@ -23,6 +23,93 @@ type Strategy interface {
 	Apply(g *dag.Graph, plat failure.Platform, order []int, ev *core.Evaluator) (*core.Schedule, float64)
 }
 
+// NSweeper is a Strategy whose Apply is a search over checkpoint
+// counts N. It exposes the search's building blocks — the sweep's N
+// values, the per-N checkpoint mask, and the optional second-stage
+// scan range — so that external engines (internal/portfolio) can
+// partition the sweep across workers while producing results
+// bit-identical to the serial Apply, which is itself implemented on
+// top of the same primitives (see sweepApply).
+type NSweeper interface {
+	Strategy
+	// Sweep returns the first-stage checkpoint counts for an n-task
+	// workflow (nil when n leaves nothing to search; Apply then falls
+	// back to CkptNvr).
+	Sweep(n int) []int
+	// NewMasker returns a function writing the strategy's checkpoint
+	// mask for a given N into mask. The masker may keep incremental
+	// state tied to the slice: always pass the same mask slice,
+	// initially all false.
+	NewMasker(g *dag.Graph, order []int) func(N int, mask []bool)
+	// SecondStage returns the inclusive range [lo, hi] of checkpoint
+	// counts to scan exhaustively around the winning first-stage
+	// count bestN, or an empty range (lo > hi) when the strategy has
+	// no second stage or the first stage was already exhaustive. The
+	// caller skips N == bestN, which was already evaluated.
+	SecondStage(n, bestN int, ns []int) (lo, hi int)
+}
+
+// CanonicalBetter reports whether candidate 1 (expected makespan v1,
+// c1 checkpoints, index i1) beats candidate 2 under the total order
+// of the portfolio determinism contract: lower expected makespan,
+// then fewer checkpoints, then lower index. The index is the
+// checkpoint count N inside a sweep and the heuristic position across
+// a portfolio. Because the order is total over distinct indices, any
+// partition of a candidate set reduces to the same winner regardless
+// of evaluation or merge order — the property that makes the parallel
+// portfolio engine bit-deterministic for every worker count.
+func CanonicalBetter(v1 float64, c1, i1 int, v2 float64, c2, i2 int) bool {
+	if v1 != v2 {
+		return v1 < v2
+	}
+	if c1 != c2 {
+		return c1 < c2
+	}
+	return i1 < i2
+}
+
+// sweepApply is the serial reference search over an NSweeper's
+// checkpoint counts: first stage over Sweep's N values, then the
+// optional second-stage scan around the winner, keeping the best
+// (value, checkpoints, N) candidate under CanonicalBetter. The
+// portfolio engine partitions exactly this computation; keeping one
+// implementation here guarantees the serial and parallel paths agree
+// bit-for-bit.
+func sweepApply(sw NSweeper, g *dag.Graph, plat failure.Platform, order []int, ev *core.Evaluator) (*core.Schedule, float64) {
+	n := g.N()
+	ns := sw.Sweep(n)
+	if len(ns) == 0 { // n == 1: nothing to search, fall back to never
+		return CkptNvr{}.Apply(g, plat, order, ev)
+	}
+	masker := sw.NewMasker(g, order)
+	mask := make([]bool, n)
+	s := &core.Schedule{Graph: g, Order: order, Ckpt: mask}
+	bestVal := math.Inf(1)
+	bestN, bestK := -1, 0
+	var bestMask []bool
+	eval := func(N int) {
+		masker(N, mask)
+		v := ev.Eval(s, plat)
+		k := s.NumCheckpointed()
+		if CanonicalBetter(v, k, N, bestVal, bestK, bestN) {
+			bestVal, bestK, bestN = v, k, N
+			bestMask = append(bestMask[:0], mask...)
+		}
+	}
+	for _, N := range ns {
+		eval(N)
+	}
+	firstBest := bestN
+	if lo, hi := sw.SecondStage(n, firstBest, ns); lo <= hi {
+		for N := lo; N <= hi; N++ {
+			if N != firstBest {
+				eval(N)
+			}
+		}
+	}
+	return &core.Schedule{Graph: g, Order: order, Ckpt: bestMask}, bestVal
+}
+
 // SweepNs returns the checkpoint counts that the N-searching
 // strategies explore for an n-task workflow: the paper's exhaustive
 // N = 1..n−1 when grid ≤ 0 or grid ≥ n−1, otherwise approximately
@@ -96,65 +183,53 @@ type rankedStrategy struct {
 
 func (r rankedStrategy) Name() string { return r.name }
 
-func (r rankedStrategy) Apply(g *dag.Graph, plat failure.Platform, order []int, ev *core.Evaluator) (*core.Schedule, float64) {
+// Sweep implements NSweeper.
+func (r rankedStrategy) Sweep(n int) []int { return SweepNs(n, r.grid) }
+
+// NewMasker implements NSweeper: the mask for N is the top-N prefix
+// of the fixed ranking, adjusted incrementally between calls.
+func (r rankedStrategy) NewMasker(g *dag.Graph, order []int) func(N int, mask []bool) {
 	n := g.N()
 	ranked := r.rank(g)
 	if len(ranked) != n {
 		panic(fmt.Sprintf("sched: ranking returned %d of %d tasks", len(ranked), n))
 	}
-	bestVal := math.Inf(1)
-	bestN := -1
-	var bestMask []bool
-	mask := make([]bool, n)
 	prev := 0
-	s := &core.Schedule{Graph: g, Order: order, Ckpt: mask}
-	eval := func(N int) {
-		// Adjust the incremental mask to exactly the top-N prefix.
+	return func(N int, mask []bool) {
 		for ; prev < N; prev++ {
 			mask[ranked[prev]] = true
 		}
 		for ; prev > N; prev-- {
 			mask[ranked[prev-1]] = false
 		}
-		v := ev.Eval(s, plat)
-		if v < bestVal {
-			bestVal = v
-			bestN = N
-			bestMask = append(bestMask[:0], mask...)
-		}
 	}
-	ns := SweepNs(n, r.grid)
-	for _, N := range ns {
-		eval(N)
+}
+
+// SecondStage implements NSweeper: grid searches exhaustively scan
+// the gap around the best grid point — the makespan is close to
+// unimodal in N, so this recovers most of the exhaustive search's
+// quality at a fraction of its cost.
+func (r rankedStrategy) SecondStage(n, bestN int, ns []int) (lo, hi int) {
+	if r.grid <= 0 || len(ns) < 2 {
+		return 0, -1
 	}
-	if bestMask == nil { // n == 1: no N to try, fall back to never
-		return CkptNvr{}.Apply(g, plat, order, ev)
-	}
-	// Second stage for grid searches: the makespan is close to
-	// unimodal in N, so exhaustively scan the gap around the best
-	// grid point to recover most of the exhaustive search's quality
-	// at a fraction of its cost.
-	if r.grid > 0 && len(ns) >= 2 {
-		lo, hi := 1, n-1
-		for i, N := range ns {
-			if N == bestN {
-				if i > 0 {
-					lo = ns[i-1] + 1
-				}
-				if i < len(ns)-1 {
-					hi = ns[i+1] - 1
-				}
-				break
+	lo, hi = 1, n-1
+	for i, N := range ns {
+		if N == bestN {
+			if i > 0 {
+				lo = ns[i-1] + 1
 			}
-		}
-		for N := lo; N <= hi; N++ {
-			if N != bestN {
-				eval(N)
+			if i < len(ns)-1 {
+				hi = ns[i+1] - 1
 			}
+			break
 		}
 	}
-	out := &core.Schedule{Graph: g, Order: order, Ckpt: bestMask}
-	return out, bestVal
+	return lo, hi
+}
+
+func (r rankedStrategy) Apply(g *dag.Graph, plat failure.Platform, order []int, ev *core.Evaluator) (*core.Schedule, float64) {
+	return sweepApply(r, g, plat, order, ev)
 }
 
 // rankBy returns task IDs sorted by the given less function with ID
@@ -224,8 +299,13 @@ type CkptPer struct {
 // Name implements Strategy.
 func (CkptPer) Name() string { return "CkptPer" }
 
-// Apply implements Strategy.
-func (c CkptPer) Apply(g *dag.Graph, plat failure.Platform, order []int, ev *core.Evaluator) (*core.Schedule, float64) {
+// Sweep implements NSweeper.
+func (c CkptPer) Sweep(n int) []int { return SweepNs(n, c.Grid) }
+
+// NewMasker implements NSweeper: the mask for N checkpoints the task
+// completing the earliest after each time threshold x·W/N in a
+// failure-free execution of the linearization.
+func (CkptPer) NewMasker(g *dag.Graph, order []int) func(N int, mask []bool) {
 	n := g.N()
 	// cum[p] = failure-free completion time of the task at position p.
 	cum := make([]float64, n)
@@ -235,11 +315,7 @@ func (c CkptPer) Apply(g *dag.Graph, plat failure.Platform, order []int, ev *cor
 		cum[p] = acc
 	}
 	total := acc
-	bestVal := math.Inf(1)
-	var bestMask []bool
-	mask := make([]bool, n)
-	s := &core.Schedule{Graph: g, Order: order, Ckpt: mask}
-	for _, N := range SweepNs(n, c.Grid) {
+	return func(N int, mask []bool) {
 		for i := range mask {
 			mask[i] = false
 		}
@@ -253,15 +329,15 @@ func (c CkptPer) Apply(g *dag.Graph, plat failure.Platform, order []int, ev *cor
 				mask[order[pos]] = true
 			}
 		}
-		v := ev.Eval(s, plat)
-		if v < bestVal {
-			bestVal = v
-			bestMask = append(bestMask[:0], mask...)
-		}
 	}
-	if bestMask == nil {
-		return CkptNvr{}.Apply(g, plat, order, ev)
-	}
-	out := &core.Schedule{Graph: g, Order: order, Ckpt: bestMask}
-	return out, bestVal
+}
+
+// SecondStage implements NSweeper: CkptPer has no second stage (its
+// mask is not a ranking prefix, so the unimodality argument behind
+// the gap scan does not apply).
+func (CkptPer) SecondStage(int, int, []int) (lo, hi int) { return 0, -1 }
+
+// Apply implements Strategy.
+func (c CkptPer) Apply(g *dag.Graph, plat failure.Platform, order []int, ev *core.Evaluator) (*core.Schedule, float64) {
+	return sweepApply(c, g, plat, order, ev)
 }
