@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint fmt vet cover check
+.PHONY: build test race bench lint fmt vet cover check serve staticcheck
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 -run 'TestConcurrent' ./internal/serve
+
+# Run the scheduling service locally (ADDR overrides the listen
+# address: make serve ADDR=:9090).
+ADDR ?= :8080
+serve:
+	$(GO) run ./cmd/wfserve -addr $(ADDR)
 
 # One iteration per benchmark: compile-and-run coverage, not timing.
 bench:
@@ -32,6 +39,17 @@ vet:
 lint: vet
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# staticcheck mirrors the non-blocking CI lint job. Uses an installed
+# staticcheck when present, otherwise fetches it (needs network);
+# intentionally not part of `check` — findings inform, don't gate.
+STATICCHECK_VERSION ?= 2025.1.1
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	fi
 
 # fmt rewrites instead of checking.
 fmt:

@@ -47,6 +47,12 @@ func run(in string, lambda, downtime float64, mcTrials, workers int, seed uint64
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
+	if mcTrials < 0 {
+		return fmt.Errorf("-mc must be ≥ 0 (0 = analytic only), got %d", mcTrials)
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers must be ≥ 0 (0 = all cores), got %d", workers)
+	}
 	f, err := os.Open(in)
 	if err != nil {
 		return err

@@ -87,3 +87,15 @@ func TestEvaluateErrors(t *testing.T) {
 		t.Fatal("negative λ accepted")
 	}
 }
+
+// TestEvaluateFlagValidation pins the up-front flag checks: negative
+// -mc and -workers must be rejected, not silently ignored.
+func TestEvaluateFlagValidation(t *testing.T) {
+	p := writeWF(t, schedFile)
+	if _, err := capture(t, func() error { return run(p, 1e-3, 0, -5, 0, 1, false) }); err == nil {
+		t.Fatal("negative -mc accepted")
+	}
+	if _, err := capture(t, func() error { return run(p, 1e-3, 0, 0, -3, 1, false) }); err == nil {
+		t.Fatal("negative -workers accepted")
+	}
+}

@@ -57,6 +57,9 @@ func main() {
 	}
 
 	cfg, err := buildConfig(*quick, *full, *seed, *workers)
+	if err == nil {
+		err = validateFlags(*mcVal, *workers)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
@@ -113,6 +116,20 @@ func maxRelDiff(analytic, mc *report.Figure) float64 {
 		}
 	}
 	return worst
+}
+
+// validateFlags front-loads flag validation so bad values fail with
+// one clear error instead of being silently ignored (a negative -mc
+// used to skip validation without a word) or reaching the figure
+// harness.
+func validateFlags(mcVal, workers int) error {
+	if mcVal < 0 {
+		return fmt.Errorf("-mc must be ≥ 0 (0 = no Monte-Carlo validation), got %d", mcVal)
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers must be ≥ 0 (0 = all cores), got %d", workers)
+	}
+	return nil
 }
 
 // buildConfig maps the -quick/-full flags onto an experiment config.

@@ -77,3 +77,20 @@ func TestWorkersFlagInvariant(t *testing.T) {
 		}
 	}
 }
+
+// TestValidateFlags pins the up-front flag checks: a negative -mc
+// used to be silently ignored instead of rejected.
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(0, 0); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if err := validateFlags(2000, 8); err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	if err := validateFlags(-1, 0); err == nil {
+		t.Fatal("negative -mc accepted")
+	}
+	if err := validateFlags(0, -2); err == nil {
+		t.Fatal("negative -workers accepted")
+	}
+}

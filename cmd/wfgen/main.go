@@ -35,6 +35,12 @@ func main() {
 }
 
 func run(workflow string, n int, seed uint64, format string, cost float64) error {
+	if n < 1 {
+		return fmt.Errorf("-n must be ≥ 1, got %d", n)
+	}
+	if cost < 0 {
+		return fmt.Errorf("-cost must be ≥ 0, got %g", cost)
+	}
 	wf, err := pwg.ParseWorkflow(workflow)
 	if err != nil {
 		return err

@@ -86,3 +86,23 @@ func TestErrors(t *testing.T) {
 		t.Fatal("tiny n accepted")
 	}
 }
+
+// TestFlagValidation pins the up-front flag checks: bad values must
+// fail with a clear error before reaching the generators.
+func TestFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		n    int
+		cost float64
+	}{
+		{"zero n", 0, 0},
+		{"negative n", -4, 0},
+		{"negative cost", 40, -0.1},
+	} {
+		if _, err := capture(t, func() error { return run("Montage", tc.n, 1, "wf", tc.cost) }); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		} else if !strings.Contains(err.Error(), "must be ≥") {
+			t.Errorf("%s: unhelpful error %q", tc.name, err)
+		}
+	}
+}

@@ -62,8 +62,30 @@ func main() {
 	}
 }
 
+// validateFlags front-loads flag validation so bad values fail with
+// one clear error instead of reaching the workflow generators or the
+// sweep code with out-of-domain parameters.
+func validateFlags(n int, in string, grid, mcTrials, workers int) error {
+	if in == "" && n < 1 {
+		return fmt.Errorf("-n must be ≥ 1 for generated workflows, got %d", n)
+	}
+	if grid < 0 {
+		return fmt.Errorf("-grid must be ≥ 0 (0 = exhaustive), got %d", grid)
+	}
+	if mcTrials < 0 {
+		return fmt.Errorf("-mc must be ≥ 0 (0 = no Monte-Carlo), got %d", mcTrials)
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers must be ≥ 0 (0 = all cores), got %d", workers)
+	}
+	return nil
+}
+
 func run(workflow string, n int, seed uint64, in string, lambda, downtime float64,
 	cost, heuristic string, grid, mcTrials, workers int, refineOn bool, dot string) error {
+	if err := validateFlags(n, in, grid, mcTrials, workers); err != nil {
+		return err
+	}
 	var g *dag.Graph
 	if in != "" {
 		f, err := os.Open(in)

@@ -188,3 +188,47 @@ func TestApplyCost(t *testing.T) {
 		t.Fatal("negative constant accepted")
 	}
 }
+
+// TestFlagValidation pins the up-front flag checks: bad values must
+// fail with one clear error before reaching the generators or the
+// sweep code.
+func TestFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name                       string
+		n, grid, mcTrials, workers int
+		in                         string
+	}{
+		{name: "zero n", n: 0},
+		{name: "negative n", n: -7},
+		{name: "negative grid", n: 40, grid: -3},
+		{name: "negative mc", n: 40, mcTrials: -5},
+		{name: "negative workers", n: 40, workers: -1},
+	} {
+		_, err := capture(t, func() error {
+			return run("Montage", tc.n, 1, tc.in, 0, 0, "0.1w", "all", tc.grid, tc.mcTrials, tc.workers, false, "")
+		})
+		if err == nil {
+			t.Errorf("%s accepted", tc.name)
+		} else if !strings.Contains(err.Error(), "must be ≥") {
+			t.Errorf("%s: unhelpful error %q", tc.name, err)
+		}
+	}
+	// -in workflows have no -n; n must not be validated then.
+	if err := validateFlags(0, "some.wf", 0, 0, 0); err != nil {
+		t.Fatalf("-in with default -n rejected: %v", err)
+	}
+}
+
+// TestGridOneRuns pins the SweepNs grid == 1 fix end to end: -grid 1
+// used to hit an int(NaN) conversion in the sweep code.
+func TestGridOneRuns(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("Random", 20, 1, "", 0, 0, "0.1w", "all", 1, 0, 1, false, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "DF-CkptW") {
+		t.Fatalf("missing heuristic table:\n%s", out)
+	}
+}

@@ -1,0 +1,123 @@
+// Command wfserve is the long-running scheduling service: it accepts
+// workflows over HTTP (the wfio text format or its JSON binding),
+// schedules them through the deterministic parallel portfolio engine,
+// optionally cross-validates via the Monte-Carlo engine, and caches
+// results behind a canonical workflow hash so repeated or concurrent
+// identical requests cost one search and return bit-identical bytes.
+//
+// Endpoints (see internal/serve for the full schema):
+//
+//	POST /v1/schedule   JSON {"workflow": {...}, "lambda": ..., ...}
+//	                    or wfio text with ?lambda=&grid=&mc=&... query
+//	GET  /healthz       liveness probe
+//	GET  /stats         cache hit rate, in-flight, totals
+//
+// Example:
+//
+//	wfserve -addr :8080 -workers 16 &
+//	wfgen -workflow Montage -n 100 |
+//	    curl -sS -X POST --data-binary @- -H 'Content-Type: text/plain' \
+//	        'localhost:8080/v1/schedule?lambda=1e-3&grid=20&mc=2000'
+//
+// The server drains in-flight requests on SIGINT/SIGTERM before
+// exiting (bounded by -drain).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "total worker budget shared by in-flight searches (0 = all cores; responses never depend on it)")
+		cacheSz  = flag.Int("cache", 0, "result cache capacity in entries (0 = default)")
+		maxTasks = flag.Int("max-tasks", 0, "reject workflows larger than this (0 = default)")
+		maxMC    = flag.Int("max-mc", 0, "reject Monte-Carlo validations larger than this (0 = default)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+	cfg := serve.Config{Workers: *workers, CacheSize: *cacheSz, MaxTasks: *maxTasks, MaxMCTrials: *maxMC}
+	if err := run(*addr, cfg, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "wfserve:", err)
+		os.Exit(1)
+	}
+}
+
+// validateFlags front-loads flag validation, mirroring the other
+// binaries: bad values fail with one clear error at startup.
+func validateFlags(cfg serve.Config, drain time.Duration) error {
+	if cfg.Workers < 0 {
+		return fmt.Errorf("-workers must be ≥ 0 (0 = all cores), got %d", cfg.Workers)
+	}
+	if cfg.CacheSize < 0 {
+		return fmt.Errorf("-cache must be ≥ 0 (0 = default), got %d", cfg.CacheSize)
+	}
+	if cfg.MaxTasks < 0 || cfg.MaxMCTrials < 0 {
+		return fmt.Errorf("-max-tasks and -max-mc must be ≥ 0")
+	}
+	if drain < 0 {
+		return fmt.Errorf("-drain must be ≥ 0, got %v", drain)
+	}
+	return nil
+}
+
+func run(addr string, cfg serve.Config, drain time.Duration) error {
+	if err := validateFlags(cfg, drain); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serveOn(ctx, ln, cfg, drain)
+}
+
+// serveOn runs the service on an existing listener until ctx is
+// cancelled, then shuts down gracefully (split from run for tests).
+func serveOn(ctx context.Context, ln net.Listener, cfg serve.Config, drain time.Duration) error {
+	s := serve.New(cfg)
+	httpSrv := &http.Server{
+		Handler: s.Handler(),
+		// Bound header reads and idle keep-alives so slow clients
+		// cannot pin connections forever on a long-running service.
+		// No overall write timeout: large searches legitimately take
+		// a while to answer.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("wfserve: listening on %s", ln.Addr())
+
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		log.Printf("wfserve: shutting down (draining up to %v)", drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		done <- httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	if err := <-done; err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	st := s.Stats()
+	log.Printf("wfserve: served %d requests (%d searches, %.0f%% deduplicated)",
+		st.Served, st.Searches, 100*st.HitRate)
+	return nil
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(serve.Config{}, 0); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	bad := []serve.Config{
+		{Workers: -1},
+		{CacheSize: -1},
+		{MaxTasks: -1},
+		{MaxMCTrials: -1},
+	}
+	for i, cfg := range bad {
+		if err := validateFlags(cfg, 0); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+	if err := validateFlags(serve.Config{}, -time.Second); err == nil {
+		t.Error("negative drain accepted")
+	}
+}
+
+// TestServeEndToEnd boots the real binary wiring on an ephemeral
+// port, schedules a workflow through both a cold and a cached
+// request, and exercises the graceful shutdown path.
+func TestServeEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- serveOn(ctx, ln, serve.Config{Workers: 2}, 5*time.Second) }()
+	base := "http://" + ln.Addr().String()
+
+	// Wait for the listener to answer.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never became healthy: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	wf := "task a 4\ntask b 2 0.2 0.2\ntask c 1\nedge a b\nedge b c\n"
+	post := func() ([]byte, string) {
+		resp, err := http.Post(base+"/v1/schedule?lambda=1e-3&mc=500", "text/plain", strings.NewReader(wf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		return body, resp.Header.Get("X-Wfserve-Cache")
+	}
+	cold, st1 := post()
+	warm, st2 := post()
+	if st1 != "miss" || st2 != "hit" {
+		t.Fatalf("cache headers %q, %q", st1, st2)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("cached response differs from cold run")
+	}
+	r, err := serve.ReadResponse(bytes.NewReader(cold))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tasks != 3 || r.Best.Heuristic == "" || r.MC == nil {
+		t.Fatalf("response incomplete: %+v", r)
+	}
+
+	// Graceful shutdown: cancelling the context must terminate
+	// serveOn without error.
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serveOn returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

@@ -11,8 +11,9 @@
 // engine (internal/portfolio), Pegasus-like workflow generators
 // (internal/pwg), a Monte-Carlo fault-injection simulator
 // (internal/simulator), the sharded parallel Monte-Carlo engine
-// (internal/mc), and the Section 6 experiment harness
-// (internal/experiments).
+// (internal/mc), the Section 6 experiment harness
+// (internal/experiments), and the HTTP scheduling service
+// (internal/serve).
 //
 // # The Monte-Carlo engine
 //
@@ -49,11 +50,29 @@
 // binaries all route their searches through the engine behind
 // -workers flags.
 //
+// # The scheduling service
+//
+// internal/serve and cmd/wfserve put both engines behind a
+// long-running HTTP service. A request — the wfio text format or its
+// JSON binding (internal/wfio's JSONWorkflow), plus platform and
+// search options — is reduced to a canonical hash
+// (wfio.CanonicalHash: tasks, edges and parameters, independent of
+// declaration order). Because both engines are bit-deterministic for
+// any worker count, the response body is a pure function of that
+// hash: a bounded concurrent-safe LRU caches encoded responses, and
+// concurrent identical requests collapse singleflight-style onto one
+// in-flight search, so cached, collapsed and cold answers are
+// byte-identical (cache status travels in the X-Wfserve-Cache
+// header). The server splits one worker budget across in-flight
+// evaluations — a pure throughput decision under the determinism
+// contract. Endpoints: POST /v1/schedule, GET /healthz, GET /stats.
+//
 // Binaries: cmd/experiments regenerates every figure of the paper
 // (with -mc N it also re-validates each figure through the engine);
 // cmd/wfsched schedules one workflow with the paper's heuristics;
 // cmd/wfgen emits synthetic workflows; cmd/evaluate computes the
-// expected makespan of a user-supplied schedule.
+// expected makespan of a user-supplied schedule; cmd/wfserve serves
+// scheduling over HTTP with the deterministic result cache.
 //
 // The benchmarks in bench_test.go regenerate one data point of every
 // figure (fig2a..fig7d) plus micro-benchmarks of the evaluator, the

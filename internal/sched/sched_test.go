@@ -144,6 +144,47 @@ func TestSweepNs(t *testing.T) {
 	}
 }
 
+// TestSweepNsGridOne is the regression test for the grid == 1 bug:
+// the interpolation divided by grid−1 = 0, producing int(NaN) — an
+// undefined conversion — and silently dropping the upper endpoint.
+func TestSweepNsGridOne(t *testing.T) {
+	if got := SweepNs(2, 1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("SweepNs(2,1) = %v, want [1]", got)
+	}
+	for _, n := range []int{3, 4, 5, 10, 701} {
+		got := SweepNs(n, 1)
+		want := []int{1, n - 1}
+		if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+			t.Fatalf("SweepNs(%d,1) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+// TestSweepNsContract checks the documented contract over small
+// n/grid combinations: for every grid ≥ 1 the sweep is strictly
+// increasing, stays within [1, n−1], and includes both endpoints.
+func TestSweepNsContract(t *testing.T) {
+	for n := 2; n <= 16; n++ {
+		for grid := 1; grid <= n+2; grid++ {
+			ns := SweepNs(n, grid)
+			if len(ns) == 0 {
+				t.Fatalf("SweepNs(%d,%d) empty", n, grid)
+			}
+			if ns[0] != 1 || ns[len(ns)-1] != n-1 {
+				t.Fatalf("SweepNs(%d,%d) = %v misses an endpoint", n, grid, ns)
+			}
+			for i := 1; i < len(ns); i++ {
+				if ns[i] <= ns[i-1] {
+					t.Fatalf("SweepNs(%d,%d) = %v not strictly increasing", n, grid, ns)
+				}
+			}
+			if grid >= n-1 && len(ns) != n-1 {
+				t.Fatalf("SweepNs(%d,%d) = %v should be exhaustive", n, grid, ns)
+			}
+		}
+	}
+}
+
 func TestBaselineStrategies(t *testing.T) {
 	g := randomDAG(11, 12)
 	order := DF{}.Linearize(g)

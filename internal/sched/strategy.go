@@ -113,8 +113,9 @@ func sweepApply(sw NSweeper, g *dag.Graph, plat failure.Platform, order []int, e
 // SweepNs returns the checkpoint counts that the N-searching
 // strategies explore for an n-task workflow: the paper's exhaustive
 // N = 1..n−1 when grid ≤ 0 or grid ≥ n−1, otherwise approximately
-// `grid` values spread uniformly over [1, n−1] (always including
-// both endpoints), the -quick mode of the experiment harness.
+// `grid` values spread uniformly over [1, n−1] — always including
+// both endpoints, for every grid ≥ 1 — the -quick mode of the
+// experiment harness. The result is strictly increasing.
 func SweepNs(n, grid int) []int {
 	if n <= 1 {
 		return nil
@@ -126,6 +127,14 @@ func SweepNs(n, grid int) []int {
 			ns[i] = i + 1
 		}
 		return ns
+	}
+	// Past the exhaustive branch max ≥ 2, so a single grid point can
+	// never cover both endpoints; degrade grid == 1 to the endpoint
+	// pair. (The interpolation below divides by grid−1, which for
+	// grid == 1 produced int(NaN) — a conversion with undefined
+	// behaviour in Go — and dropped the upper endpoint.)
+	if grid == 1 {
+		return []int{1, max}
 	}
 	seen := make(map[int]bool, grid)
 	ns := make([]int, 0, grid)

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is the bounded, concurrent-safe LRU behind the service's
+// result deduplication: canonical workflow hash → encoded response
+// body. Bodies are stored and returned verbatim (never mutated), so a
+// cache hit is bit-identical to the cold evaluation that produced it.
+// Bounded twice: by entry count and by total body bytes, so a few
+// huge-workflow responses cannot pin unbounded memory for the life of
+// the process.
+type cache struct {
+	mu        sync.Mutex
+	capacity  int
+	maxBytes  int64
+	bytes     int64
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions int64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newCache(capacity int, maxBytes int64) *cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &cache{capacity: capacity, maxBytes: maxBytes, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the body cached under key, refreshing its recency.
+func (c *cache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting least recently used entries
+// while the cache exceeds either bound. Re-putting an existing key
+// refreshes it. A body larger than the whole byte budget is not
+// cached at all (the response is still served, just never stored).
+func (c *cache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int64(len(body)) > c.maxBytes {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+		c.bytes += int64(len(body))
+	}
+	for c.ll.Len() > c.capacity || c.bytes > c.maxBytes {
+		last := c.ll.Back()
+		e := last.Value.(*cacheEntry)
+		c.ll.Remove(last)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.body))
+		c.evictions++
+	}
+}
+
+// stats returns the current length, capacity, resident bytes and
+// eviction count.
+func (c *cache) stats() (length, capacity int, bytes, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.capacity, c.bytes, c.evictions
+}

@@ -1,0 +1,88 @@
+package wfio
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/dag"
+)
+
+// CanonicalHash returns a hex SHA-256 digest identifying a workflow
+// together with optional evaluation parameters (key=value strings,
+// e.g. "lambda=0x1p-10"): the digest of the canonical form — tasks
+// sorted by name, edges sorted by (from, to) name pair, parameters
+// sorted — so it does not depend on task declaration order, edge
+// order, or parameter order. Every variable-length field (names,
+// parameters) is length-prefixed in the serialization, so names
+// containing separator characters cannot forge a collision between
+// distinct workflows. Float fields are rendered in exact hexadecimal
+// ('x') form, so two workflows hash equal iff their values are
+// bit-equal. Task names must be unique (the wfio invariant, enforced
+// by both parsers); with duplicate names the digest degrades to
+// declaration-order sensitivity among the duplicates but never
+// collides spuriously.
+//
+// wfserve keys its result cache and request deduplication on this
+// digest: two requests with the same hash are the same experiment and
+// receive bit-identical answers.
+func CanonicalHash(g *dag.Graph, params ...string) string {
+	n := g.N()
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		na, nb := g.Name(ids[a]), g.Name(ids[b])
+		if na != nb {
+			return na < nb
+		}
+		return ids[a] < ids[b]
+	})
+
+	h := sha256.New()
+	for _, id := range ids {
+		t := g.Task(id)
+		fmt.Fprintf(h, "task %s %s %s %s\n", lenPrefixed(g.Name(id)),
+			hexFloat(t.Weight), hexFloat(t.CkptCost), hexFloat(t.RecCost))
+	}
+	edges := make([]string, 0, g.M())
+	for i := 0; i < n; i++ {
+		for _, j := range g.Succs(i) {
+			edges = append(edges, "edge "+lenPrefixed(g.Name(i))+" "+lenPrefixed(g.Name(j))+"\n")
+		}
+	}
+	sort.Strings(edges)
+	for _, e := range edges {
+		h.Write([]byte(e))
+	}
+	ps := append([]string(nil), params...)
+	sort.Strings(ps)
+	for _, p := range ps {
+		fmt.Fprintf(h, "param %s\n", lenPrefixed(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// lenPrefixed renders a variable-length field unambiguously: the
+// byte length, a colon, the raw bytes. Without it, a name containing
+// spaces or newlines could mimic another workflow's serialization.
+func lenPrefixed(s string) string { return strconv.Itoa(len(s)) + ":" + s }
+
+// hexFloat renders a float64 exactly ('x' is a lossless binary
+// representation), so hashing never conflates nearly-equal values.
+func hexFloat(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+// HashParam formats one key=value parameter for CanonicalHash, using
+// the exact float rendering for float64 values so parameters obey the
+// same bit-equality rule as task fields.
+func HashParam(key string, value any) string {
+	switch v := value.(type) {
+	case float64:
+		return key + "=" + hexFloat(v)
+	default:
+		return fmt.Sprintf("%s=%v", key, v)
+	}
+}

@@ -1,0 +1,98 @@
+package wfio
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+// parseWF is a test helper building a graph from the text format.
+func parseWF(t *testing.T, text string) *File {
+	t.Helper()
+	f, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestCanonicalHashDeclarationOrder(t *testing.T) {
+	a := parseWF(t, "task A 10 1 1\ntask B 20\nedge A B\n")
+	b := parseWF(t, "task B 20\ntask A 10 1 1\nedge A B\n")
+	if CanonicalHash(a.Graph) != CanonicalHash(b.Graph) {
+		t.Fatal("hash depends on task declaration order")
+	}
+	// Edge declaration order must not matter either.
+	c := parseWF(t, "task A 1\ntask B 1\ntask C 1\nedge A B\nedge A C\n")
+	d := parseWF(t, "task C 1\ntask B 1\ntask A 1\nedge A C\nedge A B\n")
+	if CanonicalHash(c.Graph) != CanonicalHash(d.Graph) {
+		t.Fatal("hash depends on edge declaration order")
+	}
+}
+
+func TestCanonicalHashSensitivity(t *testing.T) {
+	base := parseWF(t, "task A 10 1 1\ntask B 20\nedge A B\n")
+	h0 := CanonicalHash(base.Graph)
+	for name, text := range map[string]string{
+		"weight":    "task A 11 1 1\ntask B 20\nedge A B\n",
+		"ckpt cost": "task A 10 2 1\ntask B 20\nedge A B\n",
+		"rec cost":  "task A 10 1 2\ntask B 20\nedge A B\n",
+		"name":      "task X 10 1 1\ntask B 20\nedge X B\n",
+		"edge":      "task A 10 1 1\ntask B 20\n",
+		"extra":     "task A 10 1 1\ntask B 20\ntask C 1\nedge A B\n",
+	} {
+		f := parseWF(t, text)
+		if CanonicalHash(f.Graph) == h0 {
+			t.Errorf("changing %s did not change the hash", name)
+		}
+	}
+	// Nearly-equal floats are distinct experiments.
+	eps := parseWF(t, "task A 10.000000000000002 1 1\ntask B 20\nedge A B\n")
+	if CanonicalHash(eps.Graph) == h0 {
+		t.Error("hash conflated bit-distinct weights")
+	}
+}
+
+// TestCanonicalHashNoSeparatorForgery pins the length-prefixed
+// serialization: a task name containing spaces/newlines (possible
+// through the JSON binding's structs, though rejected by its parser)
+// must not collide with a structurally different workflow.
+func TestCanonicalHashNoSeparatorForgery(t *testing.T) {
+	honest := dag.New()
+	honest.AddTask(dag.Task{Name: "a", Weight: 1})
+	honest.AddTask(dag.Task{Name: "b", Weight: 2})
+
+	forged := dag.New()
+	forged.AddTask(dag.Task{Name: "a 0x1p+00 0x0p+00 0x0p+00\ntask b", Weight: 2})
+
+	if CanonicalHash(honest) == CanonicalHash(forged) {
+		t.Fatal("separator-bearing name forged a hash collision")
+	}
+	// Param values with separators must not be forgeable either.
+	one := CanonicalHash(honest, "k=v\nparam x=y")
+	two := CanonicalHash(honest, "k=v", "x=y")
+	if one == two {
+		t.Fatal("newline in a param forged a multi-param hash")
+	}
+}
+
+func TestCanonicalHashParams(t *testing.T) {
+	f := parseWF(t, "task A 1\n")
+	plain := CanonicalHash(f.Graph)
+	withP := CanonicalHash(f.Graph, HashParam("lambda", 1e-3), HashParam("grid", 60))
+	if plain == withP {
+		t.Fatal("params did not change the hash")
+	}
+	// Parameter order must not matter.
+	swapped := CanonicalHash(f.Graph, HashParam("grid", 60), HashParam("lambda", 1e-3))
+	if withP != swapped {
+		t.Fatal("hash depends on parameter order")
+	}
+	if CanonicalHash(f.Graph, HashParam("lambda", 1e-3)) == withP {
+		t.Fatal("dropping a param did not change the hash")
+	}
+	if CanonicalHash(f.Graph, HashParam("lambda", 2e-3), HashParam("grid", 60)) == withP {
+		t.Fatal("changing a param value did not change the hash")
+	}
+}

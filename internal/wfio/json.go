@@ -1,0 +1,161 @@
+package wfio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+
+	"repro/internal/dag"
+)
+
+// JSONTask is one task of the JSON workflow binding. Weight is the
+// failure-free execution time; CkptCost/RecCost default to zero.
+type JSONTask struct {
+	Name     string  `json:"name"`
+	Weight   float64 `json:"weight"`
+	CkptCost float64 `json:"ckptCost,omitempty"`
+	RecCost  float64 `json:"recCost,omitempty"`
+}
+
+// JSONEdge is one dependency edge, referencing tasks by name.
+type JSONEdge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// JSONWorkflow is the JSON binding of the wfio text format: the same
+// information (tasks, edges, optional order and checkpoint set, all
+// referencing tasks by name) under the same semantics — task names
+// must be unique and a name may appear at most once in order and at
+// most once in ckpt. It is the request body of the wfserve service.
+type JSONWorkflow struct {
+	Tasks []JSONTask `json:"tasks"`
+	Edges []JSONEdge `json:"edges,omitempty"`
+	Order []string   `json:"order,omitempty"`
+	Ckpt  []string   `json:"ckpt,omitempty"`
+}
+
+// File assembles the parsed form, applying the same validation as the
+// text parser (unique task names, known references, no duplicates
+// inside order/ckpt).
+func (jw *JSONWorkflow) File() (*File, error) {
+	if len(jw.Tasks) == 0 {
+		return nil, fmt.Errorf("wfio: no tasks")
+	}
+	g := dag.New()
+	byName := make(map[string]int, len(jw.Tasks))
+	names := make([]string, 0, len(jw.Tasks))
+	for _, t := range jw.Tasks {
+		if t.Name == "" {
+			return nil, fmt.Errorf("wfio: task with empty name")
+		}
+		// The text format splits on whitespace, so such names could
+		// never round-trip through Write/Parse; keep the bindings
+		// equivalent by rejecting them here too.
+		if strings.ContainsFunc(t.Name, func(r rune) bool { return unicode.IsSpace(r) || unicode.IsControl(r) }) {
+			return nil, fmt.Errorf("wfio: task name %q contains whitespace or control characters", t.Name)
+		}
+		if _, dup := byName[t.Name]; dup {
+			return nil, fmt.Errorf("wfio: duplicate task %q", t.Name)
+		}
+		id := g.AddTask(dag.Task{Name: t.Name, Weight: t.Weight, CkptCost: t.CkptCost, RecCost: t.RecCost})
+		byName[t.Name] = id
+		names = append(names, t.Name)
+	}
+	for _, e := range jw.Edges {
+		from, ok := byName[e.From]
+		if !ok {
+			return nil, fmt.Errorf("wfio: edge references unknown task %q", e.From)
+		}
+		to, ok := byName[e.To]
+		if !ok {
+			return nil, fmt.Errorf("wfio: edge references unknown task %q", e.To)
+		}
+		if err := g.AddEdge(from, to); err != nil {
+			return nil, err
+		}
+	}
+	f := &File{Graph: g, Names: names}
+	if len(jw.Order) > 0 {
+		seen := make(map[string]bool, len(jw.Order))
+		f.Order = make([]int, 0, len(jw.Order))
+		for _, n := range jw.Order {
+			id, ok := byName[n]
+			if !ok {
+				return nil, fmt.Errorf("wfio: order references unknown task %q", n)
+			}
+			if seen[n] {
+				return nil, fmt.Errorf("wfio: duplicate task %q in order", n)
+			}
+			seen[n] = true
+			f.Order = append(f.Order, id)
+		}
+	}
+	if len(jw.Ckpt) > 0 {
+		seen := make(map[string]bool, len(jw.Ckpt))
+		f.Ckpt = make([]bool, g.N())
+		for _, n := range jw.Ckpt {
+			id, ok := byName[n]
+			if !ok {
+				return nil, fmt.Errorf("wfio: ckpt references unknown task %q", n)
+			}
+			if seen[n] {
+				return nil, fmt.Errorf("wfio: duplicate task %q in ckpt", n)
+			}
+			seen[n] = true
+			f.Ckpt[id] = true
+		}
+	}
+	return f, nil
+}
+
+// ParseJSON reads a JSONWorkflow document from r and assembles it
+// like Parse does for the text format.
+func ParseJSON(r io.Reader) (*File, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var jw JSONWorkflow
+	if err := dec.Decode(&jw); err != nil {
+		return nil, fmt.Errorf("wfio: bad JSON workflow: %w", err)
+	}
+	return jw.File()
+}
+
+// ToJSON converts a graph (and optional schedule) into the JSON
+// binding, the inverse of JSONWorkflow.File. Tasks are emitted in ID
+// order, so a ToJSON→File round trip preserves task IDs; float
+// values survive exactly (encoding/json emits the shortest
+// representation that round-trips a float64).
+func ToJSON(g *dag.Graph, order []int, ckpt []bool) *JSONWorkflow {
+	jw := &JSONWorkflow{Tasks: make([]JSONTask, g.N())}
+	for i := 0; i < g.N(); i++ {
+		t := g.Task(i)
+		jw.Tasks[i] = JSONTask{Name: g.Name(i), Weight: t.Weight, CkptCost: t.CkptCost, RecCost: t.RecCost}
+	}
+	for i := 0; i < g.N(); i++ {
+		for _, j := range g.Succs(i) {
+			jw.Edges = append(jw.Edges, JSONEdge{From: g.Name(i), To: g.Name(j)})
+		}
+	}
+	if order != nil {
+		jw.Order = make([]string, len(order))
+		for i, id := range order {
+			jw.Order[i] = g.Name(id)
+		}
+	}
+	for id, b := range ckpt {
+		if b {
+			jw.Ckpt = append(jw.Ckpt, g.Name(id))
+		}
+	}
+	return jw
+}
+
+// WriteJSON serializes the graph (and optional schedule) to w as a
+// JSONWorkflow document.
+func WriteJSON(w io.Writer, g *dag.Graph, order []int, ckpt []bool) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(ToJSON(g, order, ckpt))
+}

@@ -1,0 +1,121 @@
+package wfio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+const sampleJSON = `{
+	"tasks": [
+		{"name": "A", "weight": 10, "ckptCost": 1, "recCost": 1},
+		{"name": "B", "weight": 20},
+		{"name": "C", "weight": 5, "ckptCost": 0.5, "recCost": 0.5}
+	],
+	"edges": [{"from": "A", "to": "B"}, {"from": "A", "to": "C"}, {"from": "B", "to": "C"}],
+	"order": ["A", "B", "C"],
+	"ckpt": ["B"]
+}`
+
+func TestParseJSONBasic(t *testing.T) {
+	f, err := ParseJSON(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Graph.N() != 3 || f.Graph.M() != 3 {
+		t.Fatalf("n=%d m=%d", f.Graph.N(), f.Graph.M())
+	}
+	if f.Graph.CkptCost(1) != 0 {
+		t.Fatal("missing costs should default to 0")
+	}
+	s, err := f.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Ckpt[1] || s.Ckpt[0] || s.Ckpt[2] {
+		t.Fatalf("ckpt mask = %v", s.Ckpt)
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty doc":     `{}`,
+		"no tasks":      `{"tasks": []}`,
+		"empty name":    `{"tasks": [{"name": "", "weight": 1}]}`,
+		"dup task":      `{"tasks": [{"name": "A", "weight": 1}, {"name": "A", "weight": 2}]}`,
+		"unknown edge":  `{"tasks": [{"name": "A", "weight": 1}], "edges": [{"from": "A", "to": "B"}]}`,
+		"self loop":     `{"tasks": [{"name": "A", "weight": 1}], "edges": [{"from": "A", "to": "A"}]}`,
+		"order unknown": `{"tasks": [{"name": "A", "weight": 1}], "order": ["B"]}`,
+		"order dup":     `{"tasks": [{"name": "A", "weight": 1}, {"name": "B", "weight": 1}], "order": ["A", "A"]}`,
+		"ckpt unknown":  `{"tasks": [{"name": "A", "weight": 1}], "ckpt": ["B"]}`,
+		"ckpt dup":      `{"tasks": [{"name": "A", "weight": 1}], "ckpt": ["A", "A"]}`,
+		"unknown field": `{"tasks": [{"name": "A", "weight": 1}], "frob": 3}`,
+		"not json":      `task A 1`,
+	}
+	for name, input := range cases {
+		if _, err := ParseJSON(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestParseJSONRejectsUnrepresentableNames pins the binding
+// equivalence rule: names the whitespace-separated text format could
+// never round-trip are rejected by the JSON parser too.
+func TestParseJSONRejectsUnrepresentableNames(t *testing.T) {
+	for name, doc := range map[string]string{
+		"space":   `{"tasks": [{"name": "a b", "weight": 1}]}`,
+		"newline": `{"tasks": [{"name": "a\nb", "weight": 1}]}`,
+		"tab":     `{"tasks": [{"name": "a\tb", "weight": 1}]}`,
+		"control": `{"tasks": [{"name": "a\u0001b", "weight": 1}]}`,
+	} {
+		if _, err := ParseJSON(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s in task name accepted", name)
+		}
+	}
+}
+
+// TestJSONRoundTripProperty mirrors the text-format property test:
+// ToJSON→File preserves the graph, order and ckpt mask exactly,
+// including float bit patterns (encoding/json emits the shortest
+// round-tripping representation).
+func TestJSONRoundTripProperty(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 100; trial++ {
+		g, order, ckpt := randomFile(r)
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, g, order, ckpt); err != nil {
+			t.Fatal(err)
+		}
+		f, err := ParseJSON(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if f.Graph.N() != g.N() || f.Graph.M() != g.M() {
+			t.Fatalf("trial %d: structure %d/%d vs %d/%d", trial, f.Graph.N(), f.Graph.M(), g.N(), g.M())
+		}
+		for i := 0; i < g.N(); i++ {
+			if f.Graph.Task(i) != g.Task(i) {
+				t.Fatalf("trial %d: task %d diverged: %+v vs %+v", trial, i, f.Graph.Task(i), g.Task(i))
+			}
+		}
+		for i := range order {
+			if f.Order[i] != order[i] {
+				t.Fatalf("trial %d: order[%d] diverged", trial, i)
+			}
+		}
+		for i := range ckpt {
+			got := f.Ckpt != nil && f.Ckpt[i]
+			if got != ckpt[i] {
+				t.Fatalf("trial %d: ckpt[%d] diverged", trial, i)
+			}
+		}
+		// And the canonical hash agrees between the original and the
+		// round-tripped graph.
+		if CanonicalHash(g) != CanonicalHash(f.Graph) {
+			t.Fatalf("trial %d: hash diverged over the round trip", trial)
+		}
+	}
+}

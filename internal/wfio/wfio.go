@@ -9,7 +9,10 @@
 //	ckpt <name> <name> ...           (optional; may repeat)
 //
 // Task names must be unique. Orders and checkpoint sets reference
-// tasks by name. Missing ckptCost/recCost default to zero.
+// tasks by name; a name may appear at most once across all order
+// lines and at most once across all ckpt lines (rejected at parse
+// time, with the line number). Missing ckptCost/recCost default to
+// zero.
 package wfio
 
 import (
@@ -38,6 +41,11 @@ func Parse(r io.Reader) (*File, error) {
 	var names []string
 	var orderNames []string
 	var ckptNames []string
+	// Duplicates inside order/ckpt are caught here, per line, so the
+	// error carries the offending line number instead of surfacing
+	// later as a generic linearization failure from Schedule().
+	inOrder := map[string]bool{}
+	inCkpt := map[string]bool{}
 
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
@@ -85,8 +93,20 @@ func Parse(r io.Reader) (*File, error) {
 				return nil, fmt.Errorf("wfio: line %d: %v", lineNo, err)
 			}
 		case "order":
+			for _, n := range fields[1:] {
+				if inOrder[n] {
+					return nil, fmt.Errorf("wfio: line %d: duplicate task %q in order", lineNo, n)
+				}
+				inOrder[n] = true
+			}
 			orderNames = append(orderNames, fields[1:]...)
 		case "ckpt":
+			for _, n := range fields[1:] {
+				if inCkpt[n] {
+					return nil, fmt.Errorf("wfio: line %d: duplicate task %q in ckpt", lineNo, n)
+				}
+				inCkpt[n] = true
+			}
 			ckptNames = append(ckptNames, fields[1:]...)
 		default:
 			return nil, fmt.Errorf("wfio: line %d: unknown directive %q", lineNo, fields[0])

@@ -2,11 +2,14 @@ package wfio
 
 import (
 	"bytes"
+	"fmt"
+	"math"
 	"strings"
 	"testing"
 
 	"repro/internal/dag"
 	"repro/internal/pwg"
+	"repro/internal/rng"
 )
 
 const sample = `
@@ -143,5 +146,126 @@ func TestRoundTripFigure1(t *testing.T) {
 	}
 	if s.NumCheckpointed() != 2 {
 		t.Fatalf("checkpoints = %d", s.NumCheckpointed())
+	}
+}
+
+// TestParseDuplicateOrderCkpt pins the parse-time rejection of
+// duplicated names inside order/ckpt directives: the error must name
+// the offending line instead of surfacing later as a generic
+// linearization failure from Schedule().
+func TestParseDuplicateOrderCkpt(t *testing.T) {
+	cases := map[string]struct{ input, wantLine string }{
+		"dup in one order line":  {"task A 1\ntask B 2\norder A A B\n", "line 3"},
+		"dup across order lines": {"task A 1\ntask B 2\norder A B\norder A\n", "line 4"},
+		"dup in one ckpt line":   {"task A 1\ntask B 2\nckpt B B\n", "line 3"},
+		"dup across ckpt lines":  {"task A 1\ntask B 2\nckpt A\nckpt B A\n", "line 4"},
+	}
+	for name, tc := range cases {
+		_, err := Parse(strings.NewReader(tc.input))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "duplicate task") || !strings.Contains(err.Error(), tc.wantLine) {
+			t.Errorf("%s: error %q misses duplicate/%s", name, err, tc.wantLine)
+		}
+	}
+	// The same name in order AND ckpt is legal (a checkpointed task).
+	if _, err := Parse(strings.NewReader("task A 1\norder A\nckpt A\n")); err != nil {
+		t.Errorf("name shared between order and ckpt rejected: %v", err)
+	}
+}
+
+// randomFile builds a random workflow file (graph + linearization +
+// checkpoint mask) from the given rng stream, with float weights and
+// costs exercising %g round-tripping (subnormals to large values).
+func randomFile(r *rng.Source) (*dag.Graph, []int, []bool) {
+	n := 2 + r.Intn(12)
+	g := dag.New()
+	for i := 0; i < n; i++ {
+		w := r.Float64() * math.Pow(10, float64(r.Intn(7))-3)
+		g.AddTask(dag.Task{
+			Name:     fmt.Sprintf("t%d", i),
+			Weight:   w,
+			CkptCost: r.Float64() * w,
+			RecCost:  r.Float64() * w,
+		})
+	}
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			if r.Float64() < 0.3 {
+				g.MustAddEdge(i, j)
+			}
+		}
+	}
+	order := make([]int, n) // identity is a linearization: edges go i<j
+	for i := range order {
+		order[i] = i
+	}
+	ckpt := make([]bool, n)
+	for i := range ckpt {
+		ckpt[i] = r.Float64() < 0.4
+	}
+	return g, order, ckpt
+}
+
+// TestRoundTripProperty is the Write→Parse round-trip property test:
+// over many random workflows, the graph (names, exact float weights
+// and costs, edges), the order and the ckpt mask all survive exactly.
+func TestRoundTripProperty(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 100; trial++ {
+		g, order, ckpt := randomFile(r)
+		var buf bytes.Buffer
+		if err := Write(&buf, g, order, ckpt); err != nil {
+			t.Fatal(err)
+		}
+		text := buf.String()
+		f, err := Parse(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, text)
+		}
+		if f.Graph.N() != g.N() || f.Graph.M() != g.M() {
+			t.Fatalf("trial %d: structure %d/%d vs %d/%d", trial, f.Graph.N(), f.Graph.M(), g.N(), g.M())
+		}
+		for i := 0; i < g.N(); i++ {
+			// Write emits tasks in ID order, so IDs survive.
+			if f.Graph.Name(i) != g.Name(i) {
+				t.Fatalf("trial %d: name %d: %q vs %q", trial, i, f.Graph.Name(i), g.Name(i))
+			}
+			if f.Graph.Task(i) != g.Task(i) {
+				t.Fatalf("trial %d: task %d diverged: %+v vs %+v\n%s", trial, i, f.Graph.Task(i), g.Task(i), text)
+			}
+			got, want := f.Graph.Succs(i), g.Succs(i)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: succs of %d: %v vs %v", trial, i, got, want)
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("trial %d: succs of %d: %v vs %v", trial, i, got, want)
+				}
+			}
+		}
+		if len(f.Order) != len(order) {
+			t.Fatalf("trial %d: order length %d vs %d", trial, len(f.Order), len(order))
+		}
+		for i := range order {
+			if f.Order[i] != order[i] {
+				t.Fatalf("trial %d: order[%d] = %d vs %d", trial, i, f.Order[i], order[i])
+			}
+		}
+		anyCkpt := false
+		for _, b := range ckpt {
+			anyCkpt = anyCkpt || b
+		}
+		if anyCkpt {
+			for i := range ckpt {
+				if f.Ckpt[i] != ckpt[i] {
+					t.Fatalf("trial %d: ckpt[%d] diverged", trial, i)
+				}
+			}
+		} else if f.Ckpt != nil {
+			t.Fatalf("trial %d: empty mask round-tripped to %v", trial, f.Ckpt)
+		}
 	}
 }
