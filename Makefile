@@ -1,9 +1,20 @@
 # Local mirror of the CI gates (.github/workflows/ci.yml): run
 # `make check` before pushing to see exactly what CI will see.
+# Non-gating CI mirrors: `make staticcheck` (lint findings), `make
+# fuzz` (the delta-evaluator differential fuzz session) and `make
+# bench-json` (records a BENCH_sweep.json perf-trajectory point; CI
+# uploads the refreshed file as an artifact).
 
 GO ?= go
 
-.PHONY: build test race bench lint fmt vet cover check serve staticcheck
+.PHONY: build test race bench bench-json fuzz lint fmt vet cover check serve staticcheck
+
+# Differential fuzzing of the incremental sweep evaluator (delta vs
+# cold bit-identity plus the Algorithm-1 reference); FUZZTIME bounds
+# the session. The seed corpus also runs on every plain `go test`.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz=FuzzDeltaEvaluator -fuzztime=$(FUZZTIME) ./internal/core
 
 build:
 	$(GO) build ./...
@@ -24,6 +35,25 @@ serve:
 # One iteration per benchmark: compile-and-run coverage, not timing.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Benchmark trajectory: run the portfolio/refine/evaluator benchmarks
+# at n ∈ {100, 700} and record them as a labelled entry of
+# BENCH_sweep.json (BENCH_LABEL overrides the label; same label
+# replaces, new label appends). Compare two points with
+#   go run ./cmd/benchjson -file BENCH_sweep.json -extract <old>  > old.txt
+#   go run ./cmd/benchjson -file BENCH_sweep.json -extract <new>  > new.txt
+#   benchstat old.txt new.txt
+BENCH_LABEL ?= local-$(shell date +%Y-%m-%d)
+BENCH_JSON_SET = BenchmarkEvaluator$$|BenchmarkPortfolioSerial$$|BenchmarkPortfolioParallel$$|BenchmarkPortfolioN100$$|BenchmarkRefine$$|BenchmarkRefineN700$$|BenchmarkSweepExhaustive$$
+bench-json:
+	@out=$$(mktemp); \
+	{ $(GO) test -run='^$$' -bench='$(BENCH_JSON_SET)' -benchtime=1x . && \
+	  $(GO) test -run='^$$' -bench='BenchmarkDeltaFlip' -benchtime=100x ./internal/core; } > "$$out"; \
+	rc=$$?; cat "$$out"; \
+	if [ $$rc -eq 0 ]; then \
+	  $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -file BENCH_sweep.json < "$$out"; rc=$$?; \
+	else echo "bench-json: benchmark run failed; BENCH_sweep.json not updated" >&2; fi; \
+	rm -f "$$out"; exit $$rc
 
 # Test coverage: per-function profile in coverage.out plus a total,
 # mirroring the CI coverage step, so regressions in any package

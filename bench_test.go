@@ -324,8 +324,14 @@ func BenchmarkAblationGrid(b *testing.B) {
 // in benchmark territory. The full exhaustive sweep at n = 2000 is
 // the domain of cmd/experiments -fig scale-*.
 func benchPortfolio(b *testing.B) (*dag.Graph, []sched.Heuristic) {
+	return benchPortfolioN(b, 700)
+}
+
+// benchPortfolioN is benchPortfolio at an arbitrary instance size, for
+// the n ∈ {100, 700} points of the BENCH_sweep.json trajectory.
+func benchPortfolioN(b *testing.B, n int) (*dag.Graph, []sched.Heuristic) {
 	b.Helper()
-	g, err := pwg.Generate(pwg.CyberShake, 700, 1)
+	g, err := pwg.Generate(pwg.CyberShake, n, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -360,6 +366,61 @@ func BenchmarkPortfolioParallel(b *testing.B) {
 				rs := portfolio.Run(hs, g, plat, portfolio.Options{Workers: workers})
 				if len(rs) != 14 {
 					b.Fatal("bad portfolio result")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPortfolioN100 is the small point of the portfolio perf
+// trajectory: the same 14-heuristic workload at n = 100 on one worker.
+func BenchmarkPortfolioN100(b *testing.B) {
+	g, hs := benchPortfolioN(b, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs := portfolio.Run(hs, g, plat, portfolio.Options{Workers: 1})
+		if len(rs) != 14 {
+			b.Fatal("bad portfolio result")
+		}
+	}
+}
+
+// BenchmarkRefineN700 is the large point of the refinement perf
+// trajectory: one bounded hill-climb at the paper's largest size,
+// dominated by the one-bit checkpoint-flip neighbourhood.
+func BenchmarkRefineN700(b *testing.B) {
+	s := benchSchedule(b, 700)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := refine.Improve(s, plat, refine.Options{MaxEvals: 300, CkptOnly: true})
+		if res.Expected <= 0 {
+			b.Fatal("bad refinement")
+		}
+	}
+}
+
+// BenchmarkSweepExhaustive measures one full exhaustive checkpoint-
+// count sweep (DF-CkptW, N = 1..n−1) — the paper's Section 5 hot
+// path that the incremental sweep evaluator amortizes. It exercises
+// whatever path sched's sweepApply takes, so pre/post comparisons of
+// this benchmark measure the delta fast path end to end.
+func BenchmarkSweepExhaustive(b *testing.B) {
+	for _, n := range []int{100, 700} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g, err := pwg.Generate(pwg.CyberShake, n, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.ScaleCkptCosts(func(t dag.Task) (float64, float64) { return 0.1 * t.Weight, 0.1 * t.Weight })
+			h := sched.Heuristic{Lin: sched.DF{}, Strat: sched.NewCkptW(0)}
+			ev := core.NewEvaluator()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if r := h.RunWith(g, plat, ev); r.Expected <= 0 {
+					b.Fatal("bad result")
 				}
 			}
 		})

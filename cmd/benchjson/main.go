@@ -1,0 +1,202 @@
+// Command benchjson maintains BENCH_sweep.json, the repository's
+// benchmark trajectory: a JSON list of labelled benchmark runs, each
+// holding the parsed numbers and the raw `go test -bench` lines.
+//
+// Ingest a run (replacing any same-labelled entry):
+//
+//	go test -run '^$' -bench ... -benchtime 1x ./... | \
+//	    benchjson -label 2026-07-29-delta -file BENCH_sweep.json
+//
+// Extract an entry back to the standard bench text format, e.g. to
+// diff two points of the trajectory with benchstat:
+//
+//	benchjson -file BENCH_sweep.json -extract baseline-pre-delta > old.txt
+//	benchjson -file BENCH_sweep.json -extract 2026-07-29-delta   > new.txt
+//	benchstat old.txt new.txt
+//
+// The `make bench-json` target wires the ingest path; CI uploads the
+// refreshed file as a non-blocking artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Raw         string  `json:"raw"`
+}
+
+// Entry is one labelled benchmark run.
+type Entry struct {
+	Label      string      `json:"label"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// File is the whole trajectory.
+type File struct {
+	Comment string  `json:"comment"`
+	Entries []Entry `json:"entries"`
+}
+
+const defaultComment = "Benchmark trajectory; append entries via `make bench-json` " +
+	"(BENCH_LABEL=... to name the point), extract benchstat-ready text via " +
+	"`go run ./cmd/benchjson -file BENCH_sweep.json -extract <label>`."
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+// procsSuffix is the -GOMAXPROCS suffix `go test` appends to benchmark
+// names. It is stripped from the stored Name (the Raw line keeps it)
+// so trajectory points recorded on machines with different core
+// counts join on the same names.
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	var (
+		file    = flag.String("file", "BENCH_sweep.json", "trajectory file to read/update")
+		label   = flag.String("label", "", "ingest stdin as this labelled entry")
+		extract = flag.String("extract", "", "print the labelled entry as bench text")
+	)
+	flag.Parse()
+	if (*label == "") == (*extract == "") {
+		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -label (ingest) or -extract must be given")
+		os.Exit(2)
+	}
+	if err := run(*file, *label, *extract, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, label, extract string, in io.Reader, out io.Writer) error {
+	f, err := load(path)
+	if err != nil {
+		return err
+	}
+	if extract != "" {
+		for _, e := range f.Entries {
+			if e.Label == extract {
+				if e.Goos != "" {
+					fmt.Fprintf(out, "goos: %s\n", e.Goos)
+				}
+				if e.Goarch != "" {
+					fmt.Fprintf(out, "goarch: %s\n", e.Goarch)
+				}
+				if e.CPU != "" {
+					fmt.Fprintf(out, "cpu: %s\n", e.CPU)
+				}
+				for _, b := range e.Benchmarks {
+					fmt.Fprintln(out, b.Raw)
+				}
+				return nil
+			}
+		}
+		return fmt.Errorf("no entry labelled %q in %s", extract, path)
+	}
+	entry, err := parse(label, in)
+	if err != nil {
+		return err
+	}
+	if len(entry.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	replaced := false
+	for i := range f.Entries {
+		if f.Entries[i].Label == label {
+			f.Entries[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		f.Entries = append(f.Entries, entry)
+	}
+	return save(path, f)
+}
+
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &File{Comment: defaultComment}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if f.Comment == "" {
+		f.Comment = defaultComment
+	}
+	return &f, nil
+}
+
+func save(path string, f *File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// parse reads `go test -bench` output into an entry.
+func parse(label string, in io.Reader) (Entry, error) {
+	e := Entry{Label: label}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			e.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			e.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			e.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			iters, err := strconv.ParseInt(m[2], 10, 64)
+			if err != nil {
+				return e, fmt.Errorf("bad iteration count in %q", line)
+			}
+			ns, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return e, fmt.Errorf("bad ns/op in %q", line)
+			}
+			b := Benchmark{
+				Name:       procsSuffix.ReplaceAllString(m[1], ""),
+				Iterations: iters,
+				NsPerOp:    ns,
+				Raw:        strings.TrimSpace(line),
+			}
+			if m[4] != "" {
+				b.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+			}
+			if m[5] != "" {
+				b.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+			}
+			e.Benchmarks = append(e.Benchmarks, b)
+		}
+	}
+	return e, sc.Err()
+}

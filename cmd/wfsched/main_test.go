@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/dag"
 )
 
@@ -159,6 +160,54 @@ func TestRunWorkersByteIdentical(t *testing.T) {
 	for _, k := range []int{7, runtime.NumCPU(), 999} {
 		if got := runWith(k); got != want {
 			t.Fatalf("-workers %d output diverges from -workers 1:\n got:\n%s\nwant:\n%s", k, got, want)
+		}
+	}
+}
+
+// TestRunRefineDeltaByteIdentical guards the wfserve cache-key
+// contract across the DeltaEvaluator switch: for a fixed seed set,
+// the -refine output (heuristic table, refined expectations,
+// checkpoint counts and the Monte-Carlo section keyed off the best
+// schedule) must be byte-identical whether the sweeps and the refine
+// flip neighbourhood run through the incremental fast path or through
+// cold evaluation. Any divergence means the delta evaluator is no
+// longer bit-identical to Evaluator.Eval — exactly the regression
+// that would silently poison wfserve's byte-equality cache.
+func TestRunRefineDeltaByteIdentical(t *testing.T) {
+	runRefine := func(workflow string, n int, seed uint64, grid int) string {
+		out, err := capture(t, func() error {
+			return run(workflow, n, seed, "", 2e-3, 0, "0.1w", "all", grid, 300, 2, true, "")
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cases := []struct {
+		workflow string
+		n        int
+		seed     uint64
+		grid     int
+	}{
+		{"CyberShake", 45, 3, 0},
+		{"Montage", 40, 9, 8},
+		{"Ligo", 35, 5, 0},
+	}
+	t.Cleanup(func() { core.SetDeltaPath(true) })
+	for _, c := range cases {
+		if !core.DeltaPathEnabled() {
+			t.Fatal("delta path should be enabled by default")
+		}
+		want := runRefine(c.workflow, c.n, c.seed, c.grid)
+		core.SetDeltaPath(false)
+		got := runRefine(c.workflow, c.n, c.seed, c.grid)
+		core.SetDeltaPath(true)
+		if got != want {
+			t.Fatalf("%s n=%d seed=%d: -refine output diverges between delta and cold paths:\n delta:\n%s\ncold:\n%s",
+				c.workflow, c.n, c.seed, want, got)
+		}
+		if !strings.Contains(want, "Monte-Carlo") {
+			t.Fatalf("refine output incomplete:\n%s", want)
 		}
 	}
 }

@@ -50,6 +50,34 @@
 // binaries all route their searches through the engine behind
 // -workers flags.
 //
+// # The incremental sweep evaluator
+//
+// The portfolio's hot path is the checkpoint-count sweep: adjacent
+// sweep points of a ranked strategy differ by a single flipped
+// checkpoint bit, yet each point used to pay a full O(n²) Theorem 3
+// evaluation (O(n³) per sweep, transcendental-bound). core's
+// expectedMakespan is therefore factorized — every exp/expm1 depends
+// on a single lost-set entry or task constant, combined by running
+// products — and core.DeltaEvaluator persists the lost-set matrix,
+// the per-entry factors, the running products and per-row placement
+// records between evaluations. A flip at position j reuses rows k ≤ j
+// verbatim, resumes affected rows mid-row at the flip's recorded
+// placement point, recomputes transcendentals only for genuinely
+// changed entries, and rebuilds the accumulator suffix with plain
+// multiplications — O(n²) amortized flops per sweep step and results
+// that are bit-identical (math.Float64bits) to a cold Evaluator.Eval,
+// so every determinism contract below survives with the fast path on
+// or off (core.SetDeltaPath). Native fuzz plus testing/quick
+// differential harnesses (internal/core), Monte-Carlo
+// cross-validation of delta-produced schedules (internal/simulator)
+// and a byte-identity regression on cmd/wfsched -refine enforce the
+// equivalence; BENCH_sweep.json records the measured speedups
+// (≥3× on BenchmarkPortfolioParallel at n = 700, ~6× on a full
+// exhaustive sweep). Sweeps opt in by declaring sched.DeltaSweepable;
+// ranked strategies and CkptPer do, refine.ImproveWith and
+// sched.CkptGreedy use it for their one-bit neighbourhoods, and
+// internal/portfolio leases the delta state with its evaluators.
+//
 // # The scheduling service
 //
 // internal/serve and cmd/wfserve put both engines behind a

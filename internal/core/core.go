@@ -105,69 +105,197 @@ func Eval(s *Schedule, p failure.Platform) float64 {
 // an evaluator between goroutines is safe only across a
 // happens-before edge (channel send, WaitGroup, pool mutex).
 type Evaluator struct {
-	// Position-space views of the current schedule (1-based: index 0
-	// unused so the code mirrors the paper's T_1..T_n notation).
-	w, c, r []float64
-	ckpt    []bool
-	preds   [][]int // predecessor positions of each position
+	schedState
 
 	lost [][]float64 // lost[k][i] = W^i_k + R^i_k (k, i in 1..n)
-	cum  []float64   // per-k prefix sums of A_j(k)
 	pz   []float64   // pz[k] = P(Z^{k+1}_k)
-	st   []int       // per-k DFS status: iteration when placed
-	stk  []int       // DFS stack
+
+	// Per-task success factors of the factorized probability products
+	// (see expectedMakespan): fw[i] = e^{−λ w_i}, fc[i] = e^{−λ c_i}.
+	fw, fc []float64
+	// Accumulator buffers reused across Eval calls (cleared per call).
+	probSum, exSum []float64
+
+	// delta, when non-nil, is the incremental companion evaluator
+	// lazily created by Delta(). It has fully independent state; it
+	// rides along here only so pooled engines (internal/portfolio)
+	// that lease whole Evaluators get a delta evaluator under the same
+	// lease, without any signature change.
+	delta *DeltaEvaluator
 }
 
 // NewEvaluator returns an empty evaluator ready for use.
 func NewEvaluator() *Evaluator { return &Evaluator{} }
 
+// schedState is the position-space view of a loaded schedule plus the
+// scratch space of the lost-set DFS. It is shared by the cold
+// Evaluator and the incremental DeltaEvaluator so that both compute
+// every lost-set row with the byte-for-byte identical procedure
+// (lostRow) — the foundation of their bit-identity contract.
+type schedState struct {
+	// 1-based: index 0 unused so the code mirrors the paper's
+	// T_1..T_n notation.
+	w, c, r []float64
+	ckpt    []bool
+
+	// Predecessor positions in CSR layout: the predecessors of
+	// position i are predAdj[predOff[i]:predOff[i+1]]. The flat layout
+	// keeps the lost-set DFS — the hot loop of every row recompute —
+	// on two contiguous arrays instead of chasing per-position slice
+	// headers.
+	predOff []int32
+	predAdj []int32
+
+	st    []int   // per-row DFS status: stamp when placed
+	stk   []int32 // DFS stack
+	stamp int     // current row's placement stamp (strictly increasing)
+}
+
+// resizeState prepares the shared buffers for an n-task schedule.
+func (ss *schedState) resizeState(n int) {
+	if cap(ss.w) < n+1 {
+		ss.w = make([]float64, n+1)
+		ss.c = make([]float64, n+1)
+		ss.r = make([]float64, n+1)
+		ss.ckpt = make([]bool, n+1)
+		ss.predOff = make([]int32, n+2)
+		ss.st = make([]int, n+1)
+		ss.stk = make([]int32, 0, n+1)
+	}
+	ss.w = ss.w[:n+1]
+	ss.c = ss.c[:n+1]
+	ss.r = ss.r[:n+1]
+	ss.ckpt = ss.ckpt[:n+1]
+	ss.predOff = ss.predOff[:n+2]
+	ss.st = ss.st[:n+1]
+}
+
+// loadSchedule converts the schedule into position space.
+func (ss *schedState) loadSchedule(s *Schedule) {
+	g := s.Graph
+	n := g.N()
+	ss.resizeState(n)
+	if cap(ss.predAdj) < g.M() {
+		ss.predAdj = make([]int32, g.M())
+	}
+	ss.predAdj = ss.predAdj[:0]
+	pos := g.Positions(s.Order)
+	ss.predOff[0], ss.predOff[1] = 0, 0 // position 0 unused
+	for p, id := range s.Order {
+		i := p + 1
+		t := g.Task(id)
+		ss.w[i] = t.Weight
+		ss.c[i] = t.CkptCost
+		ss.r[i] = t.RecCost
+		ss.ckpt[i] = s.Ckpt[id]
+		for _, q := range g.Preds(id) {
+			ss.predAdj = append(ss.predAdj, int32(pos[q]+1))
+		}
+		ss.predOff[i+1] = int32(len(ss.predAdj))
+	}
+	ss.stamp = 0
+	for j := range ss.st {
+		ss.st[j] = 0
+	}
+}
+
+// lostRow fills row[i] = W^i_k + R^i_k for i = k..n — one row of the
+// lost-set matrix (see computeLostSets). When placedAt is non-nil,
+// placedAt[j] records the i at which position j was placed in the
+// row's lost sets (0: never placed) — the DeltaEvaluator's
+// bookkeeping: a later flip of a position with placedAt 0 provably
+// leaves the whole row unchanged (the DFS never read that position's
+// checkpoint flag), and a flip of a placed position leaves every
+// entry before its placement point unchanged.
+func (ss *schedState) lostRow(k, n int, row []float64, placedAt []int32) {
+	// A fresh stamp per row replaces the O(n) status clear; the DFS
+	// arithmetic (and hence every row value) is unchanged.
+	ss.stamp++
+	if placedAt != nil {
+		for j := 1; j < k; j++ {
+			placedAt[j] = 0
+		}
+	}
+	ss.lostRowFrom(k, n, k, ss.stamp, row, placedAt)
+}
+
+// lostRowFrom is lostRow's DFS restricted to i = startI..n: the caller
+// guarantees that ss.st marks exactly the positions placed while
+// processing i < startI with the given stamp (for startI == k that is
+// no positions). This is the single implementation of Algorithm 1's
+// traversal — the cold evaluator always runs it whole, the
+// DeltaEvaluator resumes it mid-row — so both produce byte-identical
+// rows by construction.
+func (ss *schedState) lostRowFrom(k, n, startI, stamp int, row []float64, placedAt []int32) {
+	st := ss.st
+	for i := startI; i <= n; i++ {
+		sum := 0.0
+		// DFS from the predecessors of i through the
+		// non-checkpointed closure restricted to positions < k. The
+		// first level is inlined; the stack only holds expansions.
+		stk := ss.stk[:0]
+		l := int32(i)
+		for {
+			for _, j := range ss.predAdj[ss.predOff[l]:ss.predOff[l+1]] {
+				if int(j) >= k {
+					// Executed after the failure: its output is
+					// in memory, the path is cut (Algorithm 1
+					// marks tab 0 and does not recurse).
+					continue
+				}
+				if st[j] == stamp {
+					// Already placed in some T↓k_l (l ≤ i):
+					// rebuilt at that point, output in memory.
+					continue
+				}
+				st[j] = stamp
+				if placedAt != nil {
+					placedAt[j] = int32(i)
+				}
+				if ss.ckpt[j] {
+					sum += ss.r[j]
+				} else {
+					sum += ss.w[j]
+					stk = append(stk, j)
+				}
+			}
+			if len(stk) == 0 {
+				break
+			}
+			l = stk[len(stk)-1]
+			stk = stk[:len(stk)-1]
+		}
+		row[i] = sum
+	}
+	ss.stk = ss.stk[:0]
+}
+
 // resize prepares buffers for an n-task schedule.
 func (e *Evaluator) resize(n int) {
-	if cap(e.w) < n+1 {
-		e.w = make([]float64, n+1)
-		e.c = make([]float64, n+1)
-		e.r = make([]float64, n+1)
-		e.ckpt = make([]bool, n+1)
-		e.preds = make([][]int, n+1)
+	e.resizeState(n)
+	if cap(e.pz) < n+1 {
 		e.lost = make([][]float64, n+1)
 		for k := range e.lost {
 			e.lost[k] = make([]float64, n+1)
 		}
-		e.cum = make([]float64, n+1)
 		e.pz = make([]float64, n+1)
-		e.st = make([]int, n+1)
-		e.stk = make([]int, 0, n+1)
+		e.fw = make([]float64, n+1)
+		e.fc = make([]float64, n+1)
+		e.probSum = make([]float64, n+1)
+		e.exSum = make([]float64, n+1)
 	}
-	e.w = e.w[:n+1]
-	e.c = e.c[:n+1]
-	e.r = e.r[:n+1]
-	e.ckpt = e.ckpt[:n+1]
-	e.preds = e.preds[:n+1]
 	e.lost = e.lost[:n+1]
-	e.cum = e.cum[:n+1]
 	e.pz = e.pz[:n+1]
-	e.st = e.st[:n+1]
+	e.fw = e.fw[:n+1]
+	e.fc = e.fc[:n+1]
+	e.probSum = e.probSum[:n+1]
+	e.exSum = e.exSum[:n+1]
 }
 
 // load converts the schedule into position space.
 func (e *Evaluator) load(s *Schedule) {
-	g := s.Graph
-	n := g.N()
-	e.resize(n)
-	pos := g.Positions(s.Order)
-	for p, id := range s.Order {
-		i := p + 1
-		t := g.Task(id)
-		e.w[i] = t.Weight
-		e.c[i] = t.CkptCost
-		e.r[i] = t.RecCost
-		e.ckpt[i] = s.Ckpt[id]
-		pp := e.preds[i][:0]
-		for _, q := range g.Preds(id) {
-			pp = append(pp, pos[q]+1)
-		}
-		e.preds[i] = pp
-	}
+	e.resize(s.Graph.N())
+	e.loadSchedule(s)
 }
 
 // Eval computes the expected makespan of s on platform p. It panics
@@ -203,88 +331,69 @@ func (e *Evaluator) Eval(s *Schedule, p failure.Platform) float64 {
 // their recovery cost r_j.
 func (e *Evaluator) computeLostSets(n int) {
 	for k := 1; k <= n; k++ {
-		st := e.st
-		for j := 0; j <= n; j++ {
-			st[j] = 0
-		}
-		row := e.lost[k]
-		for i := k; i <= n; i++ {
-			sum := 0.0
-			// DFS from the predecessors of i through the
-			// non-checkpointed closure restricted to positions < k.
-			stk := e.stk[:0]
-			stk = append(stk, i)
-			for len(stk) > 0 {
-				l := stk[len(stk)-1]
-				stk = stk[:len(stk)-1]
-				for _, j := range e.preds[l] {
-					if j >= k {
-						// Executed after the failure: its output is
-						// in memory, the path is cut (Algorithm 1
-						// marks tab 0 and does not recurse).
-						continue
-					}
-					if st[j] != 0 {
-						// Already placed in some T↓k_l (l ≤ i):
-						// rebuilt at that point, output in memory.
-						continue
-					}
-					st[j] = i
-					if e.ckpt[j] {
-						sum += e.r[j]
-					} else {
-						sum += e.w[j]
-						stk = append(stk, j)
-					}
-				}
-			}
-			row[i] = sum
-		}
+		e.lostRow(k, n, e.lost[k], nil)
 	}
 }
 
 // expectedMakespan combines properties A, B and C of Theorem 3 into
-// E[Σ X_i]. pz[k] caches P(Z^{k+1}_k); cum holds, for the current k,
-// the prefix sums of A_j(k) = lost[k][j] + w_j + δ_j c_j so that the
-// exponent of property A is a difference of two lookups.
+// E[Σ X_i]. pz[k] caches P(Z^{k+1}_k).
+//
+// # Factorized probability products
+//
+// Property A needs P(Z^i_k) = pz[k] · e^{−λ Σ_{t=k+1..i−1} A_t(k)}
+// with A_t(k) = lost[k][t] + w_t + δ_t c_t. Instead of accumulating
+// the exponent and calling Exp once per (k, i) pair, the probability
+// is maintained as a running product of per-term factors
+//
+//	P(k, i) = Π_{t=k+1..i−1} e^{−λ(lost[k][t]+w_t)} · (δ_t ? e^{−λ c_t} : 1)
+//
+// which is algebraically identical (and no less accurate: the old
+// exponent accumulated the same n rounding errors inside Exp's
+// argument). The point of the factorization is that every
+// transcendental now depends on a single lost-set entry (or a single
+// task constant), so the incremental evaluator (DeltaEvaluator) can
+// cache the factors and re-derive a sweep step's products with plain
+// multiplications, calling Exp only for the handful of entries a
+// checkpoint flip actually changes. DeltaEvaluator reproduces this
+// loop bit for bit; any change to the order of operations here must
+// be mirrored there (the differential fuzz tests enforce this).
 func (e *Evaluator) expectedMakespan(n int, p failure.Platform) float64 {
 	lambda := p.Lambda
-	// scost[i] = w_i + δ_i c_i.
-	// sum0[i] = Σ_{j=1..i} scost[j] (the k = 0 exponent, empty lost sets).
-	// We fold the k = 0 case into the same loop below with cum0.
 	total := 0.0
-	// Precompute, for every k in 1..n-1, the prefix sums over j of
-	// A_j(k), stored lazily row by row: we iterate i outermost to
-	// accumulate E[X_i], so we instead precompute the full matrix of
-	// prefix sums implicitly: S(k, i) = cumk[i-1] where cumk[j] =
-	// Σ_{t=k+1..j} A_t(k). To stay O(n²) in time but O(n) in memory
-	// for this part, iterate k outermost and accumulate the
-	// contribution of each (i, k) pair into per-i sums.
-	exSum := make([]float64, n+1)   // Σ_{k<i-1} P(Z^i_k)·E[X_i|Z^i_k]
-	probSum := make([]float64, n+1) // Σ_{k<i-1} P(Z^i_k)
+	exSum := e.exSum     // Σ_{k<i-1} P(Z^i_k)·E[X_i|Z^i_k]
+	probSum := e.probSum // Σ_{k<i-1} P(Z^i_k)
+	for i := 0; i <= n; i++ {
+		exSum[i] = 0
+		probSum[i] = 0
+	}
+	// Per-task success factors.
+	for i := 1; i <= n; i++ {
+		e.fw[i] = math.Exp(-lambda * e.w[i])
+		e.fc[i] = math.Exp(-lambda * e.c[i])
+	}
 
-	// k = 0 contributions: P(Z^i_0) = e^{−λ Σ_{j=1}^{i−1} scost_j}.
-	cum := 0.0
+	// k = 0 contributions: P(Z^i_0) = Π_{t<i} fw[t]·(δ_t ? fc[t] : 1)
+	// (no failure before X_i starts: every prefix segment succeeds).
+	p0 := 1.0
 	for i := 1; i <= n; i++ {
 		if i >= 2 { // for i = 1, k = 0 is the "last" k handled below
-			pr := math.Exp(-lambda * cum)
+			pr := p0
 			probSum[i] += pr
 			exSum[i] += pr * e.condExpected(i, 0, p)
 		}
-		cum += e.w[i]
+		p0 *= e.fw[i]
 		if e.ckpt[i] {
-			cum += e.c[i]
+			p0 *= e.fc[i]
 		}
 	}
 
 	// k ≥ 1 contributions require pz[k] = P(Z^{k+1}_k), which is
 	// produced when row i = k+1 is finalized. Process i in order,
-	// finalizing rows; for each finalized pz[k] we cannot yet iterate
-	// all i > k without O(n²) memory for the S(k,·) prefix sums—so
-	// instead note S(k, i) only depends on k and i and can be built
-	// incrementally per k. We therefore run a second pass per k once
-	// pz[k] is known, accumulating into exSum/probSum for i ≥ k+2.
-	// Total cost Σ_k (n−k) = O(n²).
+	// finalizing rows; each finalized pz[k] is pushed into all later
+	// rows i' ≥ k+2 with the running product P(k, i'). Contributions
+	// enter every probSum[i']/exSum[i'] accumulator in increasing k
+	// order — the invariant the incremental evaluator relies on to
+	// reproduce these sums bit for bit. Total cost Σ_k (n−k) = O(n²).
 	for i := 1; i <= n; i++ {
 		// Finalize row i: the last event k = i−1 takes the remaining
 		// probability mass (property B).
@@ -303,15 +412,21 @@ func (e *Evaluator) expectedMakespan(n int, p failure.Platform) float64 {
 		// A; k = i'−1 is the subtraction case. So push into i' ≥ k+2.
 		k := i - 1
 		if k >= 1 && e.pz[k] > 0 {
-			s := 0.0 // S(k, i') accumulates A_j(k) for j = k+1..i'-1
+			row := e.lost[k]
+			P := 1.0
 			for ip := k + 2; ip <= n; ip++ {
-				j := ip - 1
-				aj := e.lost[k][j] + e.w[j]
-				if e.ckpt[j] {
-					aj += e.c[j]
+				t := ip - 1
+				P *= math.Exp(-lambda * (row[t] + e.w[t]))
+				if e.ckpt[t] {
+					P *= e.fc[t]
 				}
-				s += aj
-				pr := math.Exp(-lambda*s) * e.pz[k]
+				if P == 0 {
+					// The product is monotonically non-increasing, so
+					// every remaining contribution is exactly +0.0 —
+					// skipping it leaves the accumulators bit-identical.
+					break
+				}
+				pr := P * e.pz[k]
 				probSum[ip] += pr
 				exSum[ip] += pr * e.condExpected(ip, k, p)
 			}

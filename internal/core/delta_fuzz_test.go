@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// FuzzDeltaEvaluator is the native differential fuzz harness of the
+// incremental evaluator: the fuzzer controls the DAG shape (via an
+// rng seed), the failure regime and an arbitrary flip/rewrite script,
+// and every step asserts that DeltaEvaluator's output is bit-identical
+// to a cold Evaluator.Eval and agrees with the Algorithm-1 reference
+// within tolerance. Run `go test -fuzz=FuzzDeltaEvaluator ./internal/core`
+// to explore; the seed corpus below runs on every plain `go test`
+// (including CI's -race pass).
+func FuzzDeltaEvaluator(f *testing.F) {
+	f.Add(uint64(1), uint64(3), []byte{0, 1, 2})
+	f.Add(uint64(42), uint64(0), []byte{7, 7, 7, 7})
+	f.Add(uint64(977), uint64(12), []byte{0xff, 0x80, 0x01, 0x40, 0x03})
+	f.Add(uint64(31337), uint64(5), []byte{5, 250, 17, 99, 99, 0, 0, 128})
+	f.Fuzz(func(t *testing.T, seed, regime uint64, script []byte) {
+		r := rng.New(seed%1_000_000 + 1)
+		n := 2 + r.Intn(30)
+		g := randomDAG(r, n)
+		order := identOrder(n)
+		lambdas := []float64{0, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}
+		p := failure.Platform{
+			Lambda:   lambdas[regime%uint64(len(lambdas))],
+			Downtime: float64(regime % 3),
+		}
+		mask := make([]bool, n)
+		s := &Schedule{Graph: g, Order: order, Ckpt: mask}
+		dv := NewDeltaEvaluator()
+		cold := NewEvaluator()
+		if len(script) > 48 {
+			script = script[:48]
+		}
+		for step, b := range append([]byte{0}, script...) {
+			switch {
+			case step > 0 && b >= 0xf8:
+				// Rare opcode: rewrite the whole mask from the byte.
+				for i := range mask {
+					mask[i] = (int(b)+i)%3 == 0
+				}
+			case step > 0 && b >= 0xf0:
+				// Rare opcode: batch-flip a handful of bits.
+				for e := 0; e < int(b%8)+2; e++ {
+					mask[(int(b)*7+e*13)%n] = !mask[(int(b)*7+e*13)%n]
+				}
+			case step > 0:
+				mask[int(b)%n] = !mask[int(b)%n]
+			}
+			got := dv.EvalSchedule(s, p)
+			want := cold.Eval(s, p)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("step %d: delta %v (%016x) != cold %v (%016x)",
+					step, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+			if n <= 24 && !p.FailureFree() {
+				// The O(n⁴) Algorithm-1 reference bounds fuzz cost; it
+				// accumulates differently, so tolerance not bitwise.
+				if ref := EvalReference(s, p); stats.RelDiff(got, ref) > 1e-9 {
+					t.Fatalf("step %d: delta %v vs reference %v (rel %g)",
+						step, got, ref, stats.RelDiff(got, ref))
+				}
+			}
+		}
+	})
+}

@@ -165,8 +165,13 @@ func Run(hs []sched.Heuristic, g *dag.Graph, plat failure.Platform, opt Options)
 		if lo > hi {
 			continue
 		}
+		// Descending, mirroring sweepApply: the masks nearest the
+		// first stage's end come first, which keeps the incremental
+		// evaluators' diffs small when a worker picks up consecutive
+		// cells (the candidate set, and hence the winner, is
+		// order-independent).
 		var ns []int
-		for N := lo; N <= hi; N++ {
+		for N := hi; N >= lo; N-- {
 			if N != best[i].n {
 				ns = append(ns, N)
 			}
@@ -236,15 +241,24 @@ func runCells(pool *evalPool, workers int, cells []cell, hs []sched.Heuristic,
 }
 
 // sweepCell evaluates one slice of an NSweeper's checkpoint-count
-// sweep and returns the slice's best candidate.
+// sweep and returns the slice's best candidate. Strategies that
+// declare sched.DeltaSweepable evaluate through the leased
+// evaluator's incremental companion: inside a cell consecutive N
+// share most mask bits, and across cells of the same heuristic the
+// companion's loaded state often still matches (the orders slice is
+// shared), so whichever worker picks the cell up pays only for the
+// mask diff. The values are bit-identical to cold evaluation either
+// way, so the worker-count determinism contract is untouched by this
+// purely opportunistic reuse.
 func sweepCell(sw sched.NSweeper, g *dag.Graph, plat failure.Platform, order, ns []int, ev *core.Evaluator) cellBest {
 	masker := sw.NewMasker(g, order)
 	mask := make([]bool, g.N())
 	s := &core.Schedule{Graph: g, Order: order, Ckpt: mask}
+	evalPoint := sched.SweepEvaluator(sw, ev)
 	best := cellBest{val: math.Inf(1), n: -1}
 	for _, N := range ns {
 		masker(N, mask)
-		v := ev.Eval(s, plat)
+		v := evalPoint(s, plat)
 		k := s.NumCheckpointed()
 		if sched.CanonicalBetter(v, k, N, best.val, best.k, best.n) {
 			best.val, best.k, best.n = v, k, N

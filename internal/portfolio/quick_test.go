@@ -29,6 +29,12 @@ func arbitraryGraph(t *testing.T, seed uint64) *dag.Graph {
 	var g *dag.Graph
 	switch r.Intn(4) {
 	case 0:
+		// The generators have per-application minimum sizes (Montage
+		// needs n ≥ 13); lift small draws above all of them instead of
+		// failing on an unlucky (workflow, n) pair.
+		if n < 13 {
+			n += 13
+		}
 		var err error
 		g, err = pwg.Generate(pwg.Workflow(r.Intn(5)), n, r.Uint64())
 		if err != nil {

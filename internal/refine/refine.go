@@ -59,6 +59,17 @@ func ImproveWith(s *core.Schedule, plat failure.Platform, opt Options, ev *core.
 	if budget <= 0 {
 		budget = 50 * n
 	}
+	// The checkpoint-flip neighbourhood toggles one bit per candidate
+	// — the exact access pattern core.DeltaEvaluator amortizes, so
+	// flips evaluate through it (≈5× cheaper per candidate at the
+	// paper's large sizes). Swap candidates change the linearization,
+	// which would force the incremental evaluator to reload its O(n²)
+	// caches per candidate, so the order neighbourhood keeps the cold
+	// evaluator. Both produce bit-identical values, so the climb's
+	// trajectory — every accept/reject decision, the final schedule
+	// and its expected makespan — is byte-identical whichever path is
+	// enabled (the cmd/wfsched regression test pins this).
+	flipEval := ev.EvalPoint()
 	res := Result{Start: ev.Eval(cur, plat)}
 	res.Evals = 1
 	best := res.Start
@@ -69,7 +80,7 @@ func ImproveWith(s *core.Schedule, plat failure.Platform, opt Options, ev *core.
 		// Neighbourhood 1: checkpoint flips.
 		for id := 0; id < n && res.Evals < budget; id++ {
 			cur.Ckpt[id] = !cur.Ckpt[id]
-			v := ev.Eval(cur, plat)
+			v := flipEval(cur, plat)
 			res.Evals++
 			if v < best-1e-12*best {
 				best = v

@@ -1,0 +1,88 @@
+package report_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/pwg"
+	"repro/internal/report"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// scaleSample regenerates a miniature scale-* experiment figure: the
+// same Kind/cost model/λ as the scale-cybershake spec, shrunk to
+// sizes that run in milliseconds. The portfolio underneath is
+// bit-deterministic (and evaluates through the incremental sweep
+// evaluator), so the rendered table and CSV are byte-stable.
+func scaleSample(t *testing.T) *report.Figure {
+	t.Helper()
+	spec := experiments.Spec{
+		ID:       "scale-sample",
+		Title:    "CyberShake: λ=0.001, c=0.1w (golden sample)",
+		Workflow: pwg.CyberShake,
+		Lambda:   1e-3,
+		Cost:     experiments.Proportional(0.1),
+		Kind:     experiments.CheckpointImpact,
+		Sizes:    []int{12, 16},
+	}
+	fig, err := experiments.Run(spec, experiments.Config{Grid: 4, Seed: 7, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fig
+}
+
+// checkGolden compares got against testdata/<name>, rewriting the
+// file under -update. Regenerate with:
+//
+//	go test ./internal/report -run TestGolden -update
+//
+// after an intentional change to the table/CSV format or to the
+// evaluator's arithmetic (the figures pin both).
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenScaleTable pins the aligned-table rendering of a scale
+// experiment byte for byte: column layout, widths, float formatting
+// and series order.
+func TestGoldenScaleTable(t *testing.T) {
+	checkGolden(t, "scale-sample.table.golden", scaleSample(t).Table())
+}
+
+// TestGoldenScaleCSV pins the CSV rendering the same way.
+func TestGoldenScaleCSV(t *testing.T) {
+	checkGolden(t, "scale-sample.csv.golden", scaleSample(t).CSV())
+}
+
+// TestGoldenStable re-runs the experiment and demands byte-identical
+// output — the determinism half of the golden contract, independent
+// of the files on disk.
+func TestGoldenStable(t *testing.T) {
+	a := scaleSample(t)
+	b := scaleSample(t)
+	if a.Table() != b.Table() || a.CSV() != b.CSV() {
+		t.Fatal("scale sample figure is not deterministic across runs")
+	}
+}

@@ -39,7 +39,12 @@ func (c CkptGreedy) Apply(g *dag.Graph, plat failure.Platform, order []int, ev *
 	n := g.N()
 	mask := make([]bool, n)
 	s := &core.Schedule{Graph: g, Order: order, Ckpt: mask}
-	best := ev.Eval(s, plat)
+	// Every probe below toggles a single checkpoint bit — exactly the
+	// access pattern the incremental evaluator amortizes. Cold
+	// evaluation produces bit-identical values when the fast path is
+	// disabled.
+	evalPoint := ev.EvalPoint()
+	best := evalPoint(s, plat)
 
 	// Candidate pool: all tasks, or the heaviest ones.
 	pool := make([]int, n)
@@ -73,7 +78,7 @@ func (c CkptGreedy) Apply(g *dag.Graph, plat failure.Platform, order []int, ev *
 				continue
 			}
 			mask[id] = true
-			v := ev.Eval(s, plat)
+			v := evalPoint(s, plat)
 			mask[id] = false
 			if v < bestVal {
 				bestVal = v

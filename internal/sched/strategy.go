@@ -49,6 +49,24 @@ type NSweeper interface {
 	SecondStage(n, bestN int, ns []int) (lo, hi int)
 }
 
+// DeltaSweepable is implemented by NSweepers that declare their sweep
+// profitable for the incremental evaluator: nearby checkpoint counts
+// produce masks sharing most bits, so core.DeltaEvaluator re-evaluates
+// each step from the previous one instead of cold. Ranked strategies
+// qualify structurally — masks are prefixes of one fixed ranking, so
+// adjacent N differ by exactly one bit, and the sweeps already visit N
+// in ascending order, which is the reuse-maximizing order for prefix
+// masks (every bit flips exactly once across the whole sweep).
+// CkptPer's threshold masks drift with N, so it relies on the
+// evaluator's mask diffing and reload cutoff instead of adjacency.
+// Results are bit-identical with or without the declaration; only the
+// cost changes.
+type DeltaSweepable interface {
+	// DeltaSweep reports whether sweeps should evaluate through
+	// core.DeltaEvaluator.
+	DeltaSweep() bool
+}
+
 // CanonicalBetter reports whether candidate 1 (expected makespan v1,
 // c1 checkpoints, index i1) beats candidate 2 under the total order
 // of the portfolio determinism contract: lower expected makespan,
@@ -84,12 +102,13 @@ func sweepApply(sw NSweeper, g *dag.Graph, plat failure.Platform, order []int, e
 	masker := sw.NewMasker(g, order)
 	mask := make([]bool, n)
 	s := &core.Schedule{Graph: g, Order: order, Ckpt: mask}
+	evalPoint := SweepEvaluator(sw, ev)
 	bestVal := math.Inf(1)
 	bestN, bestK := -1, 0
 	var bestMask []bool
 	eval := func(N int) {
 		masker(N, mask)
-		v := ev.Eval(s, plat)
+		v := evalPoint(s, plat)
 		k := s.NumCheckpointed()
 		if CanonicalBetter(v, k, N, bestVal, bestK, bestN) {
 			bestVal, bestK, bestN = v, k, N
@@ -101,13 +120,37 @@ func sweepApply(sw NSweeper, g *dag.Graph, plat failure.Platform, order []int, e
 	}
 	firstBest := bestN
 	if lo, hi := sw.SecondStage(n, firstBest, ns); lo <= hi {
-		for N := lo; N <= hi; N++ {
+		// Scan the gap downward: the first stage ends at its largest
+		// N, so a descending scan starts at the mask nearest the
+		// incremental evaluator's loaded state and proceeds by
+		// single-bit steps. The candidate set is identical and the
+		// comparator is a total order, so the winner (and every
+		// point's value) is the same as for an ascending scan.
+		for N := hi; N >= lo; N-- {
 			if N != firstBest {
 				eval(N)
 			}
 		}
 	}
 	return &core.Schedule{Graph: g, Order: order, Ckpt: bestMask}, bestVal
+}
+
+// SweepEvaluator returns the per-point evaluation function of a
+// sweep: core's EvalPoint (the incremental DeltaEvaluator behind the
+// global gate) when the strategy declares the sweep delta-profitable,
+// the cold evaluator otherwise. Both produce bit-identical values —
+// the choice affects cost only — so every determinism contract built
+// on the sweep primitives (serial RunAll == parallel portfolio,
+// wfserve cache byte-identity) is preserved no matter which path runs
+// where. The parallel engine's sweep cells use the same helper as the
+// serial sweepApply.
+func SweepEvaluator(sw NSweeper, ev *core.Evaluator) func(*core.Schedule, failure.Platform) float64 {
+	if ds, ok := sw.(DeltaSweepable); ok && ds.DeltaSweep() {
+		return ev.EvalPoint()
+	}
+	return func(s *core.Schedule, plat failure.Platform) float64 {
+		return ev.Eval(s, plat)
+	}
 }
 
 // SweepNs returns the checkpoint counts that the N-searching
@@ -194,6 +237,10 @@ func (r rankedStrategy) Name() string { return r.name }
 
 // Sweep implements NSweeper.
 func (r rankedStrategy) Sweep(n int) []int { return SweepNs(n, r.grid) }
+
+// DeltaSweep implements DeltaSweepable: prefix masks of a fixed
+// ranking are single-bit adjacent across consecutive N.
+func (rankedStrategy) DeltaSweep() bool { return true }
 
 // NewMasker implements NSweeper: the mask for N is the top-N prefix
 // of the fixed ranking, adjusted incrementally between calls.
@@ -310,6 +357,12 @@ func (CkptPer) Name() string { return "CkptPer" }
 
 // Sweep implements NSweeper.
 func (c CkptPer) Sweep(n int) []int { return SweepNs(n, c.Grid) }
+
+// DeltaSweep implements DeltaSweepable: periodic masks are not
+// prefix-adjacent, but for small N most of the mask is stable and the
+// DeltaEvaluator's diffing (with its reload cutoff for distant masks)
+// still amortizes part of the sweep.
+func (CkptPer) DeltaSweep() bool { return true }
 
 // NewMasker implements NSweeper: the mask for N checkpoints the task
 // completing the earliest after each time threshold x·W/N in a

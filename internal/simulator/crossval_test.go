@@ -8,7 +8,10 @@ import (
 	"repro/internal/dag"
 	"repro/internal/failure"
 	"repro/internal/mc"
+	"repro/internal/portfolio"
+	"repro/internal/pwg"
 	"repro/internal/rng"
+	"repro/internal/sched"
 )
 
 // randomScheduledDAG builds a random layered DAG with a random valid
@@ -68,6 +71,92 @@ func randomScheduledDAG(seed uint64, n int) (*core.Schedule, failure.Platform) {
 		Downtime: r.Uniform(0, 3),
 	}
 	return s, plat
+}
+
+// TestCrossValidationDeltaPath Monte-Carlo-validates schedules that
+// were produced through the incremental sweep evaluator, at the same
+// tolerance as the serial path: the portfolio (whose ranked sweeps
+// evaluate via core.DeltaEvaluator) picks winners on generator
+// workflows, and the winners' analytic expectations must match the
+// mechanistic fault-injection simulator. Together with the flip-level
+// validation below, this pins that the delta fast path feeds
+// downstream consumers exactly the physics the simulator implements.
+func TestCrossValidationDeltaPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical cross-validation skipped in -short mode")
+	}
+	if !core.DeltaPathEnabled() {
+		t.Fatal("delta path unexpectedly disabled")
+	}
+	for _, wf := range []pwg.Workflow{pwg.Montage, pwg.CyberShake} {
+		wf := wf
+		t.Run(wf.String(), func(t *testing.T) {
+			t.Parallel()
+			g, err := pwg.Generate(wf, 40, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.ScaleCkptCosts(func(tk dag.Task) (float64, float64) {
+				return 0.1 * tk.Weight, 0.1 * tk.Weight
+			})
+			plat := failure.Platform{Lambda: 0.01}
+			hs := sched.Paper14(sched.Options{RFSeed: 3})
+			res := portfolio.Run(hs, g, plat, portfolio.Options{Workers: 2})
+			win := portfolio.Best(res)
+			// The winner's expectation must re-evaluate identically
+			// through both evaluators before the statistical check.
+			cold := core.Eval(win.Schedule, plat)
+			dv := core.NewDeltaEvaluator()
+			if got := dv.EvalSchedule(win.Schedule, plat); math.Float64bits(got) != math.Float64bits(cold) {
+				t.Fatalf("delta %v != cold %v on the winner", got, cold)
+			}
+			if math.Float64bits(cold) != math.Float64bits(win.Expected) {
+				t.Fatalf("portfolio expectation %v != re-evaluated %v", win.Expected, cold)
+			}
+			mcRes, err := mc.Run(win.Schedule, plat, mc.Config{
+				Trials: 40000, Seed: 99, Factory: Factory()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc := mcRes.Makespan
+			tol := 4.5*acc.CI(0.99) + 1e-9
+			if diff := math.Abs(acc.Mean() - win.Expected); diff > tol {
+				t.Fatalf("%s: MC %v ± %v vs delta-path analytic %v (diff %v)",
+					wf, acc.Mean(), acc.CI(0.99), win.Expected, diff)
+			}
+		})
+	}
+}
+
+// TestCrossValidationDeltaFlips validates individual delta steps
+// against the simulator: starting from a random schedule, each of a
+// handful of single-bit flips is re-evaluated incrementally and the
+// result must match Monte-Carlo at the usual tolerance.
+func TestCrossValidationDeltaFlips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical cross-validation skipped in -short mode")
+	}
+	s, plat := randomScheduledDAG(4242, 10)
+	dv := core.NewDeltaEvaluator()
+	r := rng.New(5)
+	for step := 0; step < 4; step++ {
+		if step > 0 {
+			id := r.Intn(10)
+			s.Ckpt[id] = !s.Ckpt[id]
+		}
+		want := dv.EvalSchedule(s, plat)
+		res, err := mc.Run(s, plat, mc.Config{
+			Trials: 40000, Seed: uint64(step)*31 + 7, Factory: Factory()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := res.Makespan
+		tol := 4.5*acc.CI(0.99) + 1e-9
+		if diff := math.Abs(acc.Mean() - want); diff > tol {
+			t.Fatalf("step %d: MC %v ± %v vs delta analytic %v (diff %v)",
+				step, acc.Mean(), acc.CI(0.99), want, diff)
+		}
+	}
 }
 
 // TestCrossValidationRandomDAGs is the adversarial version of the
