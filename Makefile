@@ -1,13 +1,15 @@
 # Local mirror of the CI gates (.github/workflows/ci.yml): run
-# `make check` before pushing to see exactly what CI will see.
-# Non-gating CI mirrors: `make staticcheck` (lint findings), `make
-# fuzz` (the delta-evaluator differential fuzz session) and `make
-# bench-json` (records a BENCH_sweep.json perf-trajectory point; CI
-# uploads the refreshed file as an artifact).
+# `make check` before pushing to see exactly what CI will see —
+# including `make bench-gate` (the blocking benchmark-regression gate)
+# and `make staticcheck` (blocking lint). Non-gating CI mirrors:
+# `make fuzz` (the delta-evaluator differential fuzz session) and
+# `make bench-json` (records a BENCH_sweep.json perf-trajectory point;
+# CI uploads the refreshed file as an artifact).
 
 GO ?= go
 
-.PHONY: build test race bench bench-json fuzz lint fmt vet cover check serve staticcheck
+.PHONY: build test race bench bench-json bench-hot bench-baseline bench-gate \
+	fuzz lint fmt vet cover check serve staticcheck
 
 # Differential fuzzing of the incremental sweep evaluator (delta vs
 # cold bit-identity plus the Algorithm-1 reference); FUZZTIME bounds
@@ -44,7 +46,7 @@ bench:
 #   go run ./cmd/benchjson -file BENCH_sweep.json -extract <new>  > new.txt
 #   benchstat old.txt new.txt
 BENCH_LABEL ?= local-$(shell date +%Y-%m-%d)
-BENCH_JSON_SET = BenchmarkEvaluator$$|BenchmarkPortfolioSerial$$|BenchmarkPortfolioParallel$$|BenchmarkPortfolioN100$$|BenchmarkRefine$$|BenchmarkRefineN700$$|BenchmarkSweepExhaustive$$
+BENCH_JSON_SET = BenchmarkEvaluator$$|BenchmarkPortfolioSerial$$|BenchmarkPortfolioParallel$$|BenchmarkPortfolioN100$$|BenchmarkPortfolioN2000$$|BenchmarkRefine$$|BenchmarkRefineN700$$|BenchmarkSweepExhaustive$$
 bench-json:
 	@out=$$(mktemp); \
 	{ $(GO) test -run='^$$' -bench='$(BENCH_JSON_SET)' -benchtime=1x . && \
@@ -53,6 +55,53 @@ bench-json:
 	if [ $$rc -eq 0 ]; then \
 	  $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -file BENCH_sweep.json < "$$out"; rc=$$?; \
 	else echo "bench-json: benchmark run failed; BENCH_sweep.json not updated" >&2; fi; \
+	rm -f "$$out"; exit $$rc
+
+# Benchmark regression gate (blocking in CI, mirrored here). The gate
+# runs the hot-path benchmark set GATE_COUNT times each — enough
+# samples for cmd/benchjson's Mann–Whitney test to separate a real
+# regression from run-to-run noise — and compares the fresh samples
+# against the checked-in '$(GATE_BASELINE)' entry of BENCH_sweep.json:
+# a benchmark slower by more than GATE_THRESHOLD with statistical
+# significance fails the build. Ratios are geomean-normalized, so a
+# uniformly slower machine does not trip the gate; only a benchmark
+# regressing *relative to its siblings* does. After a deliberate,
+# justified performance change, refresh the baseline with
+# `make bench-baseline` and commit the updated BENCH_sweep.json.
+GATE_BASELINE ?= gate-baseline
+GATE_COUNT ?= 6
+GATE_THRESHOLD ?= 0.10
+GATE_REQUIRE = BenchmarkDeltaFlip/n=700,BenchmarkSweepExhaustive/n=700,BenchmarkPortfolioN100,BenchmarkRefineN700
+# One shell pipeline emitting GATE_COUNT samples of every gated
+# benchmark; per-benchmark -benchtime keeps each sample meaningful
+# without letting the slow sweeps dominate the wall clock.
+GATE_RUN = { \
+  $(GO) test -run='^$$' -bench='BenchmarkSweepExhaustive$$' -benchtime=2x -count=$(GATE_COUNT) . && \
+  $(GO) test -run='^$$' -bench='BenchmarkPortfolioN100$$' -benchtime=20x -count=$(GATE_COUNT) . && \
+  $(GO) test -run='^$$' -bench='BenchmarkRefineN700$$' -benchtime=3x -count=$(GATE_COUNT) . && \
+  $(GO) test -run='^$$' -bench='BenchmarkDeltaFlip$$' -benchtime=200x -count=$(GATE_COUNT) ./internal/core; }
+
+# Run the gate's benchmark set without comparing (eyeball the output).
+bench-hot:
+	@$(GATE_RUN)
+
+# Record the gate's benchmark set as the checked-in baseline entry.
+bench-baseline:
+	@out=$$(mktemp); $(GATE_RUN) > "$$out"; rc=$$?; cat "$$out"; \
+	if [ $$rc -eq 0 ]; then \
+	  $(GO) run ./cmd/benchjson -label '$(GATE_BASELINE)' -file BENCH_sweep.json < "$$out"; rc=$$?; \
+	else echo "bench-baseline: benchmark run failed; baseline not updated" >&2; fi; \
+	rm -f "$$out"; exit $$rc
+
+# Compare a fresh run against the checked-in baseline; nonzero exit on
+# a statistically significant >GATE_THRESHOLD ns/op regression or a
+# missing required benchmark.
+bench-gate:
+	@out=$$(mktemp); $(GATE_RUN) > "$$out"; rc=$$?; cat "$$out"; \
+	if [ $$rc -eq 0 ]; then \
+	  $(GO) run ./cmd/benchjson -file BENCH_sweep.json -gate '$(GATE_BASELINE)' \
+	    -threshold $(GATE_THRESHOLD) -normalize -require '$(GATE_REQUIRE)' < "$$out"; rc=$$?; \
+	else echo "bench-gate: benchmark run failed" >&2; fi; \
 	rm -f "$$out"; exit $$rc
 
 # Test coverage: per-function profile in coverage.out plus a total,
@@ -70,9 +119,10 @@ lint: vet
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# staticcheck mirrors the non-blocking CI lint job. Uses an installed
+# staticcheck mirrors the blocking CI lint job. Uses an installed
 # staticcheck when present, otherwise fetches it (needs network);
-# intentionally not part of `check` — findings inform, don't gate.
+# not part of `check` only because offline environments could not run
+# `check` at all otherwise.
 STATICCHECK_VERSION ?= 2025.1.1
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \

@@ -328,7 +328,7 @@ func benchPortfolio(b *testing.B) (*dag.Graph, []sched.Heuristic) {
 }
 
 // benchPortfolioN is benchPortfolio at an arbitrary instance size, for
-// the n ∈ {100, 700} points of the BENCH_sweep.json trajectory.
+// the n ∈ {100, 700, 2000} points of the BENCH_sweep.json trajectory.
 func benchPortfolioN(b *testing.B, n int) (*dag.Graph, []sched.Heuristic) {
 	b.Helper()
 	g, err := pwg.Generate(pwg.CyberShake, n, 1)
@@ -376,6 +376,24 @@ func BenchmarkPortfolioParallel(b *testing.B) {
 // trajectory: the same 14-heuristic workload at n = 100 on one worker.
 func BenchmarkPortfolioN100(b *testing.B) {
 	g, hs := benchPortfolioN(b, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs := portfolio.Run(hs, g, plat, portfolio.Options{Workers: 1})
+		if len(rs) != 14 {
+			b.Fatal("bad portfolio result")
+		}
+	}
+}
+
+// BenchmarkPortfolioN2000 is the scale point of the portfolio perf
+// trajectory: the 14-heuristic workload well past the paper's largest
+// size, where the allocation-free evaluator arenas and the bound-
+// pruned N-sweep carry the cost. One worker keeps the number a pure
+// algorithmic measurement (parallel speedup is BenchmarkPortfolioParallel's
+// job).
+func BenchmarkPortfolioN2000(b *testing.B) {
+	g, hs := benchPortfolioN(b, 2000)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,303 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// The gate mode is the repository's offline benchstat: it reads a
+// fresh multi-sample `go test -bench -count=N` run from stdin,
+// compares it per benchmark against the same-named samples of a
+// checked-in baseline entry, and fails when a benchmark got slower by
+// more than the threshold with statistical significance (two-sided
+// Mann–Whitney U, the same rank test benchstat defaults to). Both
+// inputs are sample *sets* — parse keeps every -count repetition as
+// its own sample — so the test needs no distributional assumptions
+// and one noisy repetition cannot flip the verdict.
+
+// gateResult is the per-benchmark comparison.
+type gateResult struct {
+	name      string
+	oldMed    float64 // baseline median ns/op
+	newMed    float64 // fresh median ns/op
+	ratio     float64 // newMed/oldMed, after optional normalization
+	p         float64 // Mann–Whitney two-sided p-value (1 when untestable)
+	nOld      int
+	nNew      int
+	regressed bool
+}
+
+// gate compares stdin's run against the baseline entry and returns an
+// error listing the regressions (the caller exits nonzero on it).
+func gate(f *File, path, baseline string, in io.Reader, out io.Writer,
+	threshold, alpha float64, normalize bool, require []string) error {
+	var base *Entry
+	for i := range f.Entries {
+		if f.Entries[i].Label == baseline {
+			base = &f.Entries[i]
+			break
+		}
+	}
+	if base == nil {
+		return fmt.Errorf("no baseline entry labelled %q in %s (record one with `make bench-baseline`)", baseline, path)
+	}
+	fresh, err := parse("fresh", in)
+	if err != nil {
+		return err
+	}
+	oldS, newS := samplesOf(base.Benchmarks), samplesOf(fresh.Benchmarks)
+
+	names := make([]string, 0, len(newS))
+	for name := range newS {
+		if _, ok := oldS[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("baseline %q and the fresh run share no benchmark names", baseline)
+	}
+	if missing := missingRequired(require, names); len(missing) > 0 {
+		return fmt.Errorf("required benchmarks absent from the comparison: %s", strings.Join(missing, ", "))
+	}
+
+	results := make([]gateResult, len(names))
+	for i, name := range names {
+		o, n := oldS[name], newS[name]
+		r := gateResult{name: name, oldMed: median(o), newMed: median(n), nOld: len(o), nNew: len(n)}
+		r.ratio = r.newMed / r.oldMed
+		r.p = mannWhitney(o, n)
+		results[i] = r
+	}
+
+	// Normalization divides every ratio by the run's geometric mean
+	// ratio, so a uniform machine-speed shift between the baseline
+	// recording and this run (different hardware, thermal state, CI
+	// runner generation) cancels out and only *relative* regressions —
+	// one benchmark slowing down against its siblings — trip the gate.
+	// The significance test stays on the raw samples; normalization
+	// rescales the effect-size criterion only.
+	geo := 1.0
+	if normalize {
+		s := 0.0
+		for _, r := range results {
+			s += math.Log(r.ratio)
+		}
+		geo = math.Exp(s / float64(len(results)))
+		for i := range results {
+			results[i].ratio /= geo
+		}
+	}
+
+	var regressions []string
+	for i := range results {
+		r := &results[i]
+		if r.ratio <= 1+threshold {
+			continue
+		}
+		// With a single sample on either side no rank test can reach
+		// significance; gate on the ratio alone (conservative: a lone
+		// slow sample fails rather than passes).
+		if r.p < alpha || r.nOld < 2 || r.nNew < 2 {
+			r.regressed = true
+			regressions = append(regressions, fmt.Sprintf("%s (%.2f× , p=%.4f)", r.name, r.ratio, r.p))
+		}
+	}
+
+	fmt.Fprintf(out, "gate: baseline %q, threshold +%.0f%%, alpha %.2f", baseline, threshold*100, alpha)
+	if normalize {
+		fmt.Fprintf(out, ", geomean-normalized (geomean %.3f)", geo)
+	}
+	fmt.Fprintln(out)
+	for _, r := range results {
+		verdict := "ok"
+		if r.regressed {
+			verdict = "REGRESSED"
+		}
+		fmt.Fprintf(out, "%-40s %12.0f -> %12.0f ns/op  %.3fx  p=%.4f (n=%d,%d)  %s\n",
+			r.name, r.oldMed, r.newMed, r.ratio, r.p, r.nOld, r.nNew, verdict)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed past +%.0f%%: %s",
+			len(regressions), threshold*100, strings.Join(regressions, "; "))
+	}
+	fmt.Fprintln(out, "gate: pass")
+	return nil
+}
+
+// samplesOf groups a run's ns/op values by benchmark name; -count
+// repetitions appear as multiple samples under one name.
+func samplesOf(bs []Benchmark) map[string][]float64 {
+	m := make(map[string][]float64)
+	for _, b := range bs {
+		m[b.Name] = append(m[b.Name], b.NsPerOp)
+	}
+	return m
+}
+
+// missingRequired returns the required names with no matching
+// benchmark (exact name or a sub-benchmark under it).
+func missingRequired(require, names []string) []string {
+	var missing []string
+	for _, req := range require {
+		found := false
+		for _, name := range names {
+			if name == req || strings.HasPrefix(name, req+"/") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, req)
+		}
+	}
+	return missing
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// mannWhitney returns the two-sided p-value of the Mann–Whitney U
+// test for samples x and y: the probability, under the null
+// hypothesis that both come from the same distribution, of a U
+// statistic at least as extreme as observed. Small untied samples use
+// the exact distribution (dynamic program over rank arrangements);
+// larger or tied samples use the normal approximation with tie
+// correction and continuity correction — the same strategy benchstat
+// inherits from its stats package.
+func mannWhitney(x, y []float64) float64 {
+	n, m := len(x), len(y)
+	if n == 0 || m == 0 {
+		return 1
+	}
+	ranks, tieGroups, tied := rankAll(x, y)
+	// U for x: sum of x's ranks minus its minimum possible rank sum.
+	rx := 0.0
+	for i := 0; i < n; i++ {
+		rx += ranks[i]
+	}
+	u := rx - float64(n*(n+1))/2
+
+	if !tied && n <= 12 && m <= 12 {
+		return exactMannWhitneyP(n, m, u)
+	}
+
+	mu := float64(n*m) / 2
+	nm := float64(n + m)
+	tieAdj := 0.0
+	for _, t := range tieGroups {
+		tf := float64(t)
+		tieAdj += tf*tf*tf - tf
+	}
+	sigma2 := float64(n*m) / 12 * ((nm + 1) - tieAdj/(nm*(nm-1)))
+	if sigma2 <= 0 {
+		return 1 // all values identical: no evidence of difference
+	}
+	z := u - mu
+	// Continuity correction toward the mean.
+	switch {
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= math.Sqrt(sigma2)
+	p := math.Erfc(math.Abs(z) / math.Sqrt2) // two-sided
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// rankAll assigns midranks to the concatenation x‖y and reports the
+// tie-group sizes and whether any tie exists.
+func rankAll(x, y []float64) (ranks []float64, tieGroups []int, tied bool) {
+	n := len(x) + len(y)
+	all := make([]float64, 0, n)
+	all = append(all, x...)
+	all = append(all, y...)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return all[idx[a]] < all[idx[b]] })
+	ranks = make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && all[idx[j]] == all[idx[i]] {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // midrank of positions i..j-1 (1-based)
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = mid
+		}
+		if j-i > 1 {
+			tied = true
+		}
+		tieGroups = append(tieGroups, j-i)
+		i = j
+	}
+	return ranks, tieGroups, tied
+}
+
+// exactMannWhitneyP returns the exact two-sided p-value for untied
+// samples of sizes n and m with statistic u: twice the tail
+// probability of the exact U distribution, capped at 1. The counts
+// follow the Gaussian-binomial recurrence
+//
+//	f(a, b, k) = f(a, b-1, k) + f(a-1, b, k-b)
+//
+// where f(a, b, k) is the number of the C(a+b, a) equally likely rank
+// arrangements of a x's and b y's with U = k (equivalently, the
+// number of partitions of k into ≤ a parts each ≤ b).
+func exactMannWhitneyP(n, m int, u float64) float64 {
+	maxU := n * m
+	rows := make([][]float64, m+1) // rows[b] = f(a, b, ·) for the current a
+	for b := range rows {
+		rows[b] = make([]float64, maxU+1)
+		rows[b][0] = 1 // f(0, b, k) = [k == 0]; also f(a, 0, k)
+	}
+	for a := 1; a <= n; a++ {
+		for b := 1; b <= m; b++ {
+			// rows[b-1] already holds f(a, b-1, ·); rows[b] still holds
+			// f(a-1, b, ·). Descending k keeps the k-b read pre-update.
+			row := rows[b]
+			for k := maxU; k >= 0; k-- {
+				v := rows[b-1][k]
+				if k >= b {
+					v += row[k-b]
+				}
+				row[k] = v
+			}
+		}
+	}
+	counts := rows[m]
+	total := 0.0
+	for _, c := range counts {
+		total += c
+	}
+	// Two-sided: the tail at or beyond u on its side of the symmetric
+	// distribution, doubled.
+	lo := math.Min(u, float64(maxU)-u)
+	tail := 0.0
+	for k := 0; float64(k) <= lo; k++ {
+		tail += counts[k]
+	}
+	p := 2 * tail / total
+	if p > 1 {
+		p = 1
+	}
+	return p
+}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// gateFile builds an in-memory trajectory with one baseline entry
+// holding the given per-benchmark samples.
+func gateFile(samples map[string][]float64) *File {
+	e := Entry{Label: "base"}
+	for name, vs := range samples {
+		for _, v := range vs {
+			e.Benchmarks = append(e.Benchmarks, Benchmark{
+				Name: name, Iterations: 1, NsPerOp: v,
+				Raw: fmt.Sprintf("%s 1 %v ns/op", name, v),
+			})
+		}
+	}
+	return &File{Entries: []Entry{e}}
+}
+
+// benchText renders samples as `go test -bench` output for stdin.
+func benchText(samples map[string][]float64) string {
+	var b strings.Builder
+	for name, vs := range samples {
+		for _, v := range vs {
+			fmt.Fprintf(&b, "%s 1 %v ns/op\n", name, v)
+		}
+	}
+	return b.String()
+}
+
+func runGate(f *File, fresh map[string][]float64, threshold float64, normalize bool, require []string) (string, error) {
+	var out bytes.Buffer
+	err := gate(f, "test.json", "base", strings.NewReader(benchText(fresh)), &out,
+		threshold, 0.05, normalize, require)
+	return out.String(), err
+}
+
+func TestGatePassesOnNoise(t *testing.T) {
+	f := gateFile(map[string][]float64{
+		"BenchmarkA": {100, 101, 99, 100, 102, 98},
+		"BenchmarkB": {1000, 1010, 990, 1005, 995, 1000},
+	})
+	out, err := runGate(f, map[string][]float64{
+		"BenchmarkA": {102, 100, 99, 101, 100, 98},
+		"BenchmarkB": {1002, 1008, 993, 1001, 997, 1004},
+	}, 0.10, false, nil)
+	if err != nil {
+		t.Fatalf("noise tripped the gate: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "gate: pass") {
+		t.Fatalf("missing pass line:\n%s", out)
+	}
+}
+
+func TestGateFailsOnSignificantRegression(t *testing.T) {
+	f := gateFile(map[string][]float64{
+		"BenchmarkA": {100, 101, 99, 100, 102, 98},
+		"BenchmarkB": {1000, 1010, 990, 1005, 995, 1000},
+	})
+	out, err := runGate(f, map[string][]float64{
+		"BenchmarkA": {130, 131, 129, 132, 128, 130}, // +30%, clean separation
+		"BenchmarkB": {1002, 1008, 993, 1001, 997, 1004},
+	}, 0.10, false, nil)
+	if err == nil {
+		t.Fatalf("+30%% regression passed:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "BenchmarkA") || strings.Contains(err.Error(), "BenchmarkB") {
+		t.Fatalf("wrong benchmark blamed: %v", err)
+	}
+	if !strings.Contains(out, "REGRESSED") {
+		t.Fatalf("missing REGRESSED verdict:\n%s", out)
+	}
+}
+
+// A large shift without statistical support (overlapping, wildly noisy
+// samples) must not fail the gate: that is the entire point of pairing
+// the threshold with a rank test.
+func TestGateToleratesInsignificantShift(t *testing.T) {
+	f := gateFile(map[string][]float64{
+		"BenchmarkA": {100, 180, 90, 170, 95, 160},
+	})
+	out, err := runGate(f, map[string][]float64{
+		"BenchmarkA": {175, 98, 168, 92, 158, 105},
+	}, 0.10, false, nil)
+	if err != nil {
+		t.Fatalf("statistically indistinguishable run failed: %v\n%s", err, out)
+	}
+}
+
+// Single-sample comparisons cannot reach significance; the gate must
+// fall back to the ratio alone rather than waving regressions through.
+func TestGateSingleSampleFailsClosed(t *testing.T) {
+	f := gateFile(map[string][]float64{"BenchmarkA": {100}})
+	_, err := runGate(f, map[string][]float64{"BenchmarkA": {150}}, 0.10, false, nil)
+	if err == nil {
+		t.Fatal("single-sample +50% regression passed")
+	}
+	if _, err := runGate(f, map[string][]float64{"BenchmarkA": {105}}, 0.10, false, nil); err != nil {
+		t.Fatalf("single-sample +5%% (inside threshold) failed: %v", err)
+	}
+}
+
+// Geomean normalization must cancel a uniform machine-speed shift but
+// still catch one benchmark regressing against its siblings.
+func TestGateNormalize(t *testing.T) {
+	base := map[string][]float64{
+		"BenchmarkA": {100, 101, 99, 100, 102, 98},
+		"BenchmarkB": {1000, 1010, 990, 1005, 995, 1000},
+		"BenchmarkC": {500, 505, 495, 502, 498, 501},
+	}
+	uniform := map[string][]float64{}
+	for name, vs := range base {
+		scaled := make([]float64, len(vs))
+		for i, v := range vs {
+			scaled[i] = 1.5 * v // everything 50% slower: slower machine
+		}
+		uniform[name] = scaled
+	}
+	if out, err := runGate(gateFile(base), uniform, 0.10, true, nil); err != nil {
+		t.Fatalf("uniform 1.5x shift tripped the normalized gate: %v\n%s", err, out)
+	}
+	if _, err := runGate(gateFile(base), uniform, 0.10, false, nil); err == nil {
+		t.Fatal("uniform 1.5x shift passed the unnormalized gate (normalization made no difference)")
+	}
+	// Same shift plus one real regression: only that one must fail.
+	mixed := map[string][]float64{}
+	for name, vs := range uniform {
+		mixed[name] = vs
+	}
+	mixed["BenchmarkB"] = []float64{2000, 2020, 1980, 2010, 1990, 2000} // 2x, not 1.5x
+	_, err := runGate(gateFile(base), mixed, 0.10, true, nil)
+	if err == nil {
+		t.Fatal("relative regression slipped through normalization")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkB") || strings.Contains(err.Error(), "BenchmarkA") {
+		t.Fatalf("wrong benchmark blamed under normalization: %v", err)
+	}
+}
+
+func TestGateRequiredBenchmarks(t *testing.T) {
+	f := gateFile(map[string][]float64{"BenchmarkA/n=700": {100, 100, 100}})
+	fresh := map[string][]float64{"BenchmarkA/n=700": {100, 100, 100}}
+	if _, err := runGate(f, fresh, 0.10, false, []string{"BenchmarkA"}); err != nil {
+		t.Fatalf("prefix-matched required benchmark reported missing: %v", err)
+	}
+	_, err := runGate(f, fresh, 0.10, false, []string{"BenchmarkA", "BenchmarkGone"})
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkGone") {
+		t.Fatalf("missing required benchmark not reported: %v", err)
+	}
+}
+
+func TestGateUnknownBaseline(t *testing.T) {
+	var out bytes.Buffer
+	err := gate(&File{}, "t.json", "nope", strings.NewReader("BenchmarkA 1 5 ns/op\n"), &out,
+		0.1, 0.05, false, nil)
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("unknown baseline accepted: %v", err)
+	}
+}
+
+// Sanity-pin the statistics: exact small-sample U distribution and
+// the tie-corrected normal approximation.
+func TestMannWhitney(t *testing.T) {
+	// n=m=3, complete separation: U=9 (or 0), exact two-sided
+	// p = 2·(1/C(6,3)) = 2/20 = 0.1.
+	if p := mannWhitney([]float64{1, 2, 3}, []float64{4, 5, 6}); math.Abs(p-0.1) > 1e-12 {
+		t.Fatalf("exact p = %v, want 0.1", p)
+	}
+	// Identical samples: no evidence of difference.
+	if p := mannWhitney([]float64{5, 5, 5}, []float64{5, 5, 5}); p != 1 {
+		t.Fatalf("identical samples p = %v, want 1", p)
+	}
+	// Interleaved samples: p must be large.
+	if p := mannWhitney([]float64{1, 3, 5, 7}, []float64{2, 4, 6, 8}); p < 0.4 {
+		t.Fatalf("interleaved samples p = %v, want large", p)
+	}
+	// n=m=6, complete separation: p = 2/C(12,6) = 2/924 ≈ 0.00216 < 0.05
+	// — six -count repetitions are enough for the gate to act.
+	p := mannWhitney([]float64{1, 2, 3, 4, 5, 6}, []float64{7, 8, 9, 10, 11, 12})
+	if math.Abs(p-2.0/924) > 1e-12 {
+		t.Fatalf("exact p = %v, want %v", p, 2.0/924)
+	}
+	// Large samples route through the normal approximation and must
+	// still call a clean separation significant.
+	big1 := make([]float64, 20)
+	big2 := make([]float64, 20)
+	for i := range big1 {
+		big1[i] = float64(i)
+		big2[i] = float64(i) + 100
+	}
+	if p := mannWhitney(big1, big2); p > 1e-6 {
+		t.Fatalf("normal-approx p = %v for clean separation", p)
+	}
+	// Symmetry: swapping the samples must not change the p-value.
+	a, b := []float64{1, 4, 2, 8}, []float64{3, 9, 7, 5}
+	if p1, p2 := mannWhitney(a, b), mannWhitney(b, a); math.Abs(p1-p2) > 1e-12 {
+		t.Fatalf("asymmetric p: %v vs %v", p1, p2)
+	}
+}

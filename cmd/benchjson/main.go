@@ -14,8 +14,21 @@
 //	benchjson -file BENCH_sweep.json -extract 2026-07-29-delta   > new.txt
 //	benchstat old.txt new.txt
 //
-// The `make bench-json` target wires the ingest path; CI uploads the
-// refreshed file as a non-blocking artifact.
+// Gate a fresh multi-sample run against a checked-in baseline entry
+// (the repository's offline benchstat; see gate.go for the
+// statistics):
+//
+//	go test -run '^$' -bench ... -count 6 ./... | \
+//	    benchjson -file BENCH_sweep.json -gate gate-baseline \
+//	    -threshold 0.10 -require BenchmarkDeltaFlip,BenchmarkPortfolioN100
+//
+// The exit status is 1 when any benchmark is slower than the baseline
+// by more than -threshold with Mann–Whitney significance -alpha, or
+// when a -require'd benchmark is missing from either side.
+//
+// The `make bench-json` target wires the ingest path and `make
+// bench-gate` the gate; CI runs the gate as a blocking job and uploads
+// the refreshed trajectory as a non-blocking artifact.
 package main
 
 import (
@@ -69,14 +82,42 @@ var procsSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
 	var (
-		file    = flag.String("file", "BENCH_sweep.json", "trajectory file to read/update")
-		label   = flag.String("label", "", "ingest stdin as this labelled entry")
-		extract = flag.String("extract", "", "print the labelled entry as bench text")
+		file      = flag.String("file", "BENCH_sweep.json", "trajectory file to read/update")
+		label     = flag.String("label", "", "ingest stdin as this labelled entry")
+		extract   = flag.String("extract", "", "print the labelled entry as bench text")
+		gateLabel = flag.String("gate", "", "compare stdin against this baseline entry; exit 1 on significant regression")
+		threshold = flag.Float64("threshold", 0.10, "gate: relative ns/op slowdown tolerated before failing")
+		alpha     = flag.Float64("alpha", 0.05, "gate: Mann–Whitney significance level a regression must reach")
+		normalize = flag.Bool("normalize", false, "gate: divide per-benchmark ratios by their geometric mean (cancels uniform machine-speed shifts)")
+		require   = flag.String("require", "", "gate: comma-separated benchmark names that must be present in both runs")
 	)
 	flag.Parse()
-	if (*label == "") == (*extract == "") {
-		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -label (ingest) or -extract must be given")
+	modes := 0
+	for _, m := range []string{*label, *extract, *gateLabel} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -label (ingest), -extract or -gate must be given")
 		os.Exit(2)
+	}
+	if *gateLabel != "" {
+		f, err := load(*file)
+		if err == nil {
+			var req []string
+			for _, r := range strings.Split(*require, ",") {
+				if r = strings.TrimSpace(r); r != "" {
+					req = append(req, r)
+				}
+			}
+			err = gate(f, *file, *gateLabel, os.Stdin, os.Stdout, *threshold, *alpha, *normalize, req)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := run(*file, *label, *extract, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -78,6 +78,48 @@
 // sched.CkptGreedy use it for their one-bit neighbourhoods, and
 // internal/portfolio leases the delta state with its evaluators.
 //
+// # Allocation discipline and bound-based pruning
+//
+// Both evaluators keep their O(n²) state in flat arenas — one backing
+// array per matrix, carved into row views — sized once per
+// (graph, schedule) shape and reused across evaluations, so the hot
+// paths are allocation-free: a warm delta flip and a warm cold Eval
+// run at 0 allocs/op, and a fresh evaluator sizes itself in a small
+// constant number of allocations. testing.AllocsPerRun gates in
+// internal/core pin all three on every plain `go test ./...`.
+//
+// On top of the evaluators, the N-sweeps prune provably losing
+// candidates: core.MaskBound lower-bounds the expected makespan of
+// any schedule from its checkpoint mask alone (Base plus per-task
+// increments, from the monotonicity of failure.ExpectedTime), and
+// strategies expose it per checkpoint count via sched.BoundedSweeper.
+// For ranked strategies the bound is a prefix sum — monotone in N —
+// so the serial sweepApply and the portfolio cells bisect the prune
+// cutoff instead of testing every N; the parallel engine additionally
+// shares a per-heuristic atomic incumbent across cells and skips
+// whole cells whose every N is prunable. A candidate is discarded
+// only when its bound exceeds the incumbent beyond the core.PruneSlack
+// floating-point margin, so the canonical winner is bit-identical
+// with pruning on or off (core.SetPrunePath) — pinned by differential
+// harnesses in internal/sched and internal/portfolio across the four
+// DAG families, all strategies and worker counts. refine.ImproveWith
+// reuses the same bound to skip provably rejected add-checkpoint
+// flips without spending evaluation budget.
+//
+// # Benchmark methodology and the regression gate
+//
+// BENCH_sweep.json is the benchmark trajectory: labelled multi-sample
+// entries maintained by cmd/benchjson (`make bench-json`). The hot
+// paths are additionally gated: `make bench-gate` (blocking in CI)
+// re-runs the gated benchmark set several times and compares the
+// samples against the checked-in 'gate-baseline' entry with an
+// offline benchstat equivalent — median ratios, two-sided
+// Mann–Whitney U significance, geomean normalization so uniform
+// machine-speed shifts cancel — and fails on a statistically
+// significant regression past the threshold. Deliberate performance
+// changes refresh the baseline via `make bench-baseline` and commit
+// the result.
+//
 // # The scheduling service
 //
 // internal/serve and cmd/wfserve put both engines behind a

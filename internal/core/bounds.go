@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"repro/internal/dag"
 	"repro/internal/failure"
 )
@@ -24,6 +26,91 @@ func LowerBound(g *dag.Graph, p failure.Platform) float64 {
 		lb += p.ExpectedTime(g.Weight(i), 0, 0)
 	}
 	return lb
+}
+
+// MaskBound is the checkpoint-mask-dependent refinement of
+// LowerBound: for a schedule whose checkpoint set is S,
+//
+//	E[makespan] ≥ Base + Σ_{i∈S} Inc[i]
+//
+// with Base = Σ_i E[t(w_i; 0; 0)] (LowerBound's mask-free part) and
+// Inc[i] = E[t(w_i; c_i; 0)] − E[t(w_i; 0; 0)] ≥ 0, the cost floor a
+// checkpoint of task i adds. Justification: E[makespan] = Σ_i E[X_i],
+// and conditioned on any failure event, property C gives
+// E[X_i | Z^i_k] = E[t(W^i_k+R^i_k+w_i; δ_i c_i; rec)] with work
+// ≥ w_i, checkpoint exactly δ_i c_i and recovery ≥ 0 — and E[t] is
+// monotone in all three arguments — so E[X_i] ≥ E[t(w_i; δ_i c_i; 0)]
+// for every schedule, linearization and platform.
+//
+// Because the bound is a sum of per-task increments it is O(1) per
+// single-bit mask change and monotone under adding checkpoints —
+// the two properties the bound-pruned N-sweep (sched.BoundedSweeper)
+// and refine's flip pruning are built on.
+type MaskBound struct {
+	// Base is the mask-independent floor, equal to LowerBound.
+	Base float64
+	// Inc[id] ≥ 0 is the bound increment of checkpointing task id.
+	Inc []float64
+}
+
+// NewMaskBound precomputes the bound's ingredients in O(n).
+func NewMaskBound(g *dag.Graph, p failure.Platform) *MaskBound {
+	mb := &MaskBound{Inc: make([]float64, g.N())}
+	for i := 0; i < g.N(); i++ {
+		w := g.Weight(i)
+		base := p.ExpectedTime(w, 0, 0)
+		mb.Base += base
+		// ExpectedTime is monotone in c so the true increment is ≥ 0;
+		// clamp the one-rounding computed difference to keep every
+		// derived prefix sum provably monotone.
+		if inc := p.ExpectedTime(w, g.CkptCost(i), 0) - base; inc > 0 {
+			mb.Inc[i] = inc
+		}
+	}
+	return mb
+}
+
+// Of returns the bound for the given checkpoint mask (task-id space).
+func (mb *MaskBound) Of(mask []bool) float64 {
+	lb := mb.Base
+	for id, on := range mask {
+		if on {
+			lb += mb.Inc[id]
+		}
+	}
+	return lb
+}
+
+// PruneSlack is the relative safety margin bound-based pruning leaves
+// between a computed lower bound and the incumbent: a candidate is
+// discarded only when bound·(1−PruneSlack) still exceeds the
+// incumbent's value. Mathematically the true expected makespan is
+// ≥ the true bound, but both sides are computed in floating point;
+// their combined relative error is bounded by a few n·ulp (≈1e-12 at
+// n = 2000), so a 1e-9 margin guarantees the *computed* makespan of a
+// pruned candidate would also have exceeded the incumbent — pruning
+// can therefore never change a canonical winner, bit for bit. The
+// margin costs essentially no pruning power: it only retains
+// candidates within one part in 10⁹ of the cutoff.
+const PruneSlack = 1e-9
+
+// prunePathOff globally disables bound-based pruning of the N-sweeps
+// and refine's flip neighbourhood (everything is evaluated). Results
+// are bit-identical either way — pruning discards only candidates
+// whose lower bound proves they lose to an already-evaluated one —
+// and the pruned-vs-unpruned differential harnesses flip this switch
+// to prove exactly that; like the delta-path gate it exists for tests
+// and A/B timing, not correctness.
+var prunePathOff atomic.Bool
+
+// PrunePathEnabled reports whether bound-based pruning is enabled
+// (the default).
+func PrunePathEnabled() bool { return !prunePathOff.Load() }
+
+// SetPrunePath enables or disables bound-based pruning and returns
+// the previous setting. Intended for tests and A/B benchmarks.
+func SetPrunePath(on bool) (prev bool) {
+	return !prunePathOff.Swap(!on)
 }
 
 // Ratio helpers for reporting.

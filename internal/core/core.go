@@ -149,6 +149,31 @@ type schedState struct {
 	st    []int   // per-row DFS status: stamp when placed
 	stk   []int32 // DFS stack
 	stamp int     // current row's placement stamp (strictly increasing)
+
+	posBuf []int // task id -> position scratch, reused across loads
+}
+
+// arenaF64 carves an r×w float64 matrix out of one flat allocation:
+// consecutive rows are contiguous in memory, so the row-major passes
+// of the evaluators walk the cache linearly, and resizing costs O(1)
+// allocations instead of one per row.
+func arenaF64(r, w int) [][]float64 {
+	buf := make([]float64, r*w)
+	rows := make([][]float64, r)
+	for k := range rows {
+		rows[k] = buf[k*w : (k+1)*w : (k+1)*w]
+	}
+	return rows
+}
+
+// arenaI32 is arenaF64 for int32 matrices.
+func arenaI32(r, w int) [][]int32 {
+	buf := make([]int32, r*w)
+	rows := make([][]int32, r)
+	for k := range rows {
+		rows[k] = buf[k*w : (k+1)*w : (k+1)*w]
+	}
+	return rows
 }
 
 // resizeState prepares the shared buffers for an n-task schedule.
@@ -179,7 +204,8 @@ func (ss *schedState) loadSchedule(s *Schedule) {
 		ss.predAdj = make([]int32, g.M())
 	}
 	ss.predAdj = ss.predAdj[:0]
-	pos := g.Positions(s.Order)
+	ss.posBuf = g.PositionsInto(s.Order, ss.posBuf)
+	pos := ss.posBuf
 	ss.predOff[0], ss.predOff[1] = 0, 0 // position 0 unused
 	for p, id := range s.Order {
 		i := p + 1
@@ -274,10 +300,7 @@ func (ss *schedState) lostRowFrom(k, n, startI, stamp int, row []float64, placed
 func (e *Evaluator) resize(n int) {
 	e.resizeState(n)
 	if cap(e.pz) < n+1 {
-		e.lost = make([][]float64, n+1)
-		for k := range e.lost {
-			e.lost[k] = make([]float64, n+1)
-		}
+		e.lost = arenaF64(n+1, n+1)
 		e.pz = make([]float64, n+1)
 		e.fw = make([]float64, n+1)
 		e.fc = make([]float64, n+1)

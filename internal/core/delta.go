@@ -70,9 +70,11 @@ func SetDeltaPath(on bool) (prev bool) {
 // # Memory
 //
 // The caches are five (n+1)×(n+1) float64 matrices plus the int32
-// placedAt matrix, ≈ 44·n² bytes (22 MB at n = 700, 176 MB at
-// n = 2000) per evaluator. Engines that lease one evaluator per
-// worker should budget accordingly at very large n.
+// placedAt matrix — each a single flat arena, so a resize costs O(1)
+// allocations and row-major passes walk memory linearly — ≈ 44·n²
+// bytes (22 MB at n = 700, 176 MB at n = 2000) per evaluator. Engines
+// that lease one evaluator per worker should budget accordingly at
+// very large n.
 //
 // # Ownership
 //
@@ -267,20 +269,12 @@ func (d *DeltaEvaluator) Invalidate() { d.loaded = false }
 func (d *DeltaEvaluator) resizeDelta(n int) {
 	d.resizeState(n)
 	if cap(d.pz) < n+1 {
-		d.lost = make([][]float64, n+1)
-		d.placedAt = make([][]int32, n+1)
-		d.bf = make([][]float64, n+1)
-		d.pp = make([][]float64, n+1)
-		d.er2 = make([][]float64, n+1)
-		d.cm = make([][]float64, n+1)
-		for k := 0; k <= n; k++ {
-			d.lost[k] = make([]float64, n+1)
-			d.placedAt[k] = make([]int32, n+1)
-			d.bf[k] = make([]float64, n+1)
-			d.pp[k] = make([]float64, n+1)
-			d.er2[k] = make([]float64, n+1)
-			d.cm[k] = make([]float64, n+1)
-		}
+		d.lost = arenaF64(n+1, n+1)
+		d.placedAt = arenaI32(n+1, n+1)
+		d.bf = arenaF64(n+1, n+1)
+		d.pp = arenaF64(n+1, n+1)
+		d.er2 = arenaF64(n+1, n+1)
+		d.cm = arenaF64(n+1, n+1)
 		d.fw = make([]float64, n+1)
 		d.fc = make([]float64, n+1)
 		d.er0 = make([]float64, n+1)
@@ -295,6 +289,16 @@ func (d *DeltaEvaluator) resizeDelta(n int) {
 		d.pos = make([]int, n)
 		d.rowBuf = make([]float64, n+1)
 		d.minChg = make([]int, n+1)
+		// Scratch is sized for the hot path up front — a single-bit
+		// flip of a ranked-prefix mask changes about one lost entry per
+		// affected row — so flips never grow a slice mid-evaluation:
+		// the flip path is zero-alloc (pinned by TestDeltaFlipAllocFree).
+		// Pathological flips that change more than 2(n+1) entries fall
+		// back to append's amortized growth, which only costs memory.
+		d.flips = make([]int, 0, n+1)
+		d.diagChg = make([]int, 0, n+1)
+		d.chgK = make([]int, 0, 2*(n+1))
+		d.chgT = make([]int, 0, 2*(n+1))
 	}
 	d.lost = d.lost[:n+1]
 	d.placedAt = d.placedAt[:n+1]
@@ -329,9 +333,9 @@ func (d *DeltaEvaluator) loadFull(s *Schedule, p failure.Platform) float64 {
 	d.n = n
 	d.order = append(d.order[:0], s.Order...)
 	d.mask = append(d.mask[:0], s.Ckpt...)
-	gpos := g.Positions(s.Order)
+	d.posBuf = g.PositionsInto(s.Order, d.posBuf)
 	for id := 0; id < n; id++ {
-		d.pos[id] = gpos[id] + 1
+		d.pos[id] = d.posBuf[id] + 1
 	}
 	d.loadSchedule(s)
 

@@ -10,8 +10,9 @@ import (
 )
 
 // benchDeltaSetup builds the portfolio benchmark workload (CyberShake,
-// ranked-prefix masks) at size n.
-func benchDeltaSetup(b *testing.B, n int) (*Schedule, failure.Platform) {
+// ranked-prefix masks) at size n. It is shared with the allocation
+// gates in alloc_test.go, hence testing.TB.
+func benchDeltaSetup(b testing.TB, n int) (*Schedule, failure.Platform) {
 	b.Helper()
 	g, err := pwg.Generate(pwg.CyberShake, n, 1)
 	if err != nil {

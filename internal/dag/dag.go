@@ -267,11 +267,23 @@ func (g *Graph) IsLinearization(order []int) bool {
 // schedule position of task id. It panics if order is not a
 // permutation of [0, N()).
 func (g *Graph) Positions(order []int) []int {
+	return g.PositionsInto(order, nil)
+}
+
+// PositionsInto is Positions writing into buf when its capacity
+// allows, so evaluators that invert a linearization on every load can
+// reuse one buffer across calls instead of allocating. It returns the
+// filled slice (buf, re-sliced, or a fresh allocation).
+func (g *Graph) PositionsInto(order, buf []int) []int {
 	n := len(g.tasks)
 	if len(order) != n {
 		panic("dag: Positions: order length mismatch")
 	}
-	pos := make([]int, n)
+	pos := buf
+	if cap(pos) < n {
+		pos = make([]int, n)
+	}
+	pos = pos[:n]
 	for i := range pos {
 		pos[i] = -1
 	}

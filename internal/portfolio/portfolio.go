@@ -39,6 +39,7 @@ package portfolio
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/dag"
@@ -119,11 +120,21 @@ func Run(hs []sched.Heuristic, g *dag.Graph, plat failure.Platform, opt Options)
 	// slice (cells only read it).
 	orders := make([][]int, len(hs))
 	sweeps := make([][]int, len(hs)) // nil: opaque strategy, run Apply whole
+	// Sweep lower bounds (nil: strategy has none, or pruning is off)
+	// and the shared per-heuristic incumbents they prune against. The
+	// incumbent is per heuristic — never cross-heuristic — because Run
+	// reports every heuristic's own canonical winner, not just the
+	// portfolio's.
+	bounds := make([]func(int) float64, len(hs))
+	monos := make([]bool, len(hs))
+	incs := make([]incumbent, len(hs))
 	for i, h := range hs {
+		incs[i].reset()
 		orders[i] = h.Lin.Linearize(g)
 		if sw, ok := h.Strat.(sched.NSweeper); ok {
 			if ns := sw.Sweep(n); len(ns) > 0 {
 				sweeps[i] = ns
+				bounds[i], monos[i] = sched.SweepBounder(sw, g, plat, orders[i])
 			}
 		}
 	}
@@ -149,7 +160,7 @@ func Run(hs []sched.Heuristic, g *dag.Graph, plat failure.Platform, opt Options)
 			cells = append(cells, cell{h: i, ns: sweeps[i][lo:hi]})
 		}
 	}
-	runCells(pool, opt.Workers, cells, hs, g, plat, orders, best)
+	runCells(pool, opt.Workers, cells, hs, g, plat, orders, bounds, incs, best)
 
 	// Stage 2: grid sweeps exhaustively scan the gap around their
 	// first-stage winner (sched's sweepApply does the same serially).
@@ -164,6 +175,20 @@ func Run(hs []sched.Heuristic, g *dag.Graph, plat failure.Platform, opt Options)
 		lo, hi := sw.SecondStage(n, best[i].n, sweeps[i])
 		if lo > hi {
 			continue
+		}
+		// With a monotone bound the counts pruned by the (now final)
+		// stage-1 incumbent form a suffix of [lo, hi]: bisect the
+		// largest count still worth scanning and drop the rest before
+		// chunking, so whole provably-losing chunks are never built.
+		// This truncation depends only on barrier-synchronized state,
+		// so the cell set is identical for every worker count.
+		if bounds[i] != nil && monos[i] {
+			hi = lo + sort.Search(hi-lo+1, func(x int) bool {
+				return sched.Prunable(bounds[i](lo+x), best[i].val)
+			}) - 1
+			if lo > hi {
+				continue
+			}
 		}
 		// Descending, mirroring sweepApply: the masks nearest the
 		// first stage's end come first, which keeps the incremental
@@ -184,7 +209,7 @@ func Run(hs []sched.Heuristic, g *dag.Graph, plat failure.Platform, opt Options)
 			cells = append(cells, cell{h: i, ns: ns[c:e]})
 		}
 	}
-	runCells(pool, opt.Workers, cells, hs, g, plat, orders, best)
+	runCells(pool, opt.Workers, cells, hs, g, plat, orders, bounds, incs, best)
 
 	// Assemble per-heuristic results in input order.
 	out := make([]sched.Result, len(hs))
@@ -224,7 +249,8 @@ func Run(hs []sched.Heuristic, g *dag.Graph, plat failure.Platform, opt Options)
 // (The comparator is a total order, so merge order is immaterial —
 // iterating in cell order just makes that obvious.)
 func runCells(pool *evalPool, workers int, cells []cell, hs []sched.Heuristic,
-	g *dag.Graph, plat failure.Platform, orders [][]int, best []cellBest) {
+	g *dag.Graph, plat failure.Platform, orders [][]int,
+	bounds []func(int) float64, incs []incumbent, best []cellBest) {
 	results := make([]cellBest, len(cells))
 	pool.forEach(workers, len(cells), func(ev *core.Evaluator, ci int) {
 		c := cells[ci]
@@ -233,7 +259,8 @@ func runCells(pool *evalPool, workers int, cells []cell, hs []sched.Heuristic,
 			results[ci] = cellBest{val: v, n: -1, k: s.NumCheckpointed(), sched: s}
 			return
 		}
-		results[ci] = sweepCell(hs[c.h].Strat.(sched.NSweeper), g, plat, orders[c.h], c.ns, ev)
+		results[ci] = sweepCell(hs[c.h].Strat.(sched.NSweeper), g, plat, orders[c.h], c.ns, ev,
+			bounds[c.h], &incs[c.h])
 	})
 	for ci := range cells {
 		best[cells[ci].h].merge(&results[ci])
@@ -250,19 +277,58 @@ func runCells(pool *evalPool, workers int, cells []cell, hs []sched.Heuristic,
 // mask diff. The values are bit-identical to cold evaluation either
 // way, so the worker-count determinism contract is untouched by this
 // purely opportunistic reuse.
-func sweepCell(sw sched.NSweeper, g *dag.Graph, plat failure.Platform, order, ns []int, ev *core.Evaluator) cellBest {
+//
+// When the strategy has a sweep lower bound, candidates whose bound
+// proves they lose to the heuristic's shared incumbent are skipped —
+// whole cells before the masker is even built when every count in the
+// slice is prunable. Which candidates get pruned depends on how cells
+// interleave across workers, but a pruned candidate is *provably*
+// beaten by an already-evaluated one of the same heuristic, so the
+// merged per-heuristic winner — and everything downstream — is
+// bit-identical for every worker count and to pruning disabled
+// (pinned by this package's differential test).
+func sweepCell(sw sched.NSweeper, g *dag.Graph, plat failure.Platform, order, ns []int, ev *core.Evaluator,
+	bound func(int) float64, inc *incumbent) cellBest {
+	best := cellBest{val: math.Inf(1), n: -1}
+	cur := math.Inf(1)
+	if inc != nil {
+		cur = inc.load()
+	}
+	if bound != nil {
+		pruned := true
+		for _, N := range ns {
+			if !sched.Prunable(bound(N), cur) {
+				pruned = false
+				break
+			}
+		}
+		if pruned {
+			return best
+		}
+	}
 	masker := sw.NewMasker(g, order)
 	mask := make([]bool, g.N())
 	s := &core.Schedule{Graph: g, Order: order, Ckpt: mask}
 	evalPoint := sched.SweepEvaluator(sw, ev)
-	best := cellBest{val: math.Inf(1), n: -1}
 	for _, N := range ns {
+		if bound != nil {
+			if c := inc.load(); c < cur {
+				cur = c
+			}
+			if sched.Prunable(bound(N), cur) {
+				continue
+			}
+		}
 		masker(N, mask)
 		v := evalPoint(s, plat)
 		k := s.NumCheckpointed()
 		if sched.CanonicalBetter(v, k, N, best.val, best.k, best.n) {
 			best.val, best.k, best.n = v, k, N
 			best.mask = append(best.mask[:0], mask...)
+		}
+		if inc != nil && v < cur {
+			cur = v
+			inc.min(v)
 		}
 	}
 	return best

@@ -1,0 +1,43 @@
+package portfolio
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// incumbent is a shared, monotonically decreasing expected-makespan
+// floor: one per heuristic, read by every cell of that heuristic's
+// N-sweep to prune candidates whose lower bound proves they lose
+// (sched.Prunable). Workers race on it, but only downwards and only
+// as a *pruning* threshold, never as a result: a stale (higher) read
+// merely prunes less, and pruning against any incumbent discards only
+// provably-losing candidates, so the canonical winner — and with it
+// the engine's bit-determinism for every worker count — is unaffected
+// by the race. Expected makespans are non-negative and finite, so the
+// CAS loop below terminates.
+type incumbent struct {
+	bits atomic.Uint64 // math.Float64bits of the current floor
+}
+
+// reset initializes the floor to +Inf (nothing evaluated yet).
+func (in *incumbent) reset() {
+	in.bits.Store(math.Float64bits(math.Inf(1)))
+}
+
+// load returns the current floor.
+func (in *incumbent) load() float64 {
+	return math.Float64frombits(in.bits.Load())
+}
+
+// min lowers the floor to v if v is smaller.
+func (in *incumbent) min(v float64) {
+	for {
+		old := in.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if in.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

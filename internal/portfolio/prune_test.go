@@ -1,0 +1,106 @@
+package portfolio
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pwg"
+	"repro/internal/sched"
+)
+
+// The parallel engine with bound pruning — shared per-heuristic
+// incumbents, whole-cell skips, the bisected stage-2 truncation — must
+// return exactly what the engine returns with pruning disabled, for
+// every worker count and chunking, with and without refinement. This
+// is the portfolio layer of the pruning differential harness (the
+// serial layer lives in internal/sched).
+func TestPrunedRunBitIdentical(t *testing.T) {
+	defer core.SetPrunePath(core.SetPrunePath(false))
+	for _, tc := range []struct {
+		wf   pwg.Workflow
+		n    int
+		seed uint64
+		grid int
+	}{
+		{pwg.Montage, 60, 3, 0},
+		{pwg.Montage, 60, 3, 7},
+		{pwg.CyberShake, 48, 9, 0},
+		{pwg.Ligo, 40, 5, 6},
+		{pwg.Genome, 40, 7, 0},
+	} {
+		g := testGraph(t, tc.wf, tc.n, tc.seed)
+		hs := sched.Paper14(sched.Options{RFSeed: 11, Grid: tc.grid})
+		core.SetPrunePath(false)
+		want := fingerprint(sched.RunAll(hs, g, plat))
+		core.SetPrunePath(true)
+		for _, workers := range []int{1, 2, runtime.NumCPU()} {
+			for _, chunk := range []int{0, 1, 1000} {
+				rs := Run(hs, g, plat, Options{Workers: workers, ChunkSize: chunk})
+				if got := fingerprint(rs); got != want {
+					t.Fatalf("%v n=%d grid=%d workers=%d chunk=%d: pruned run diverged from unpruned serial:\n got %s\nwant %s",
+						tc.wf, tc.n, tc.grid, workers, chunk, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Refinement rides on the same prune gate (flip-candidate skips): the
+// refined portfolio must stay worker-count deterministic with pruning
+// on, and pruning must never yield a worse refined result than the
+// unpruned climb (skipped candidates are provably-rejected ones, so
+// the pruned climb's accepted-move sequence extends the unpruned
+// one's).
+func TestPrunedRefineDeterministicAndNeverWorse(t *testing.T) {
+	defer core.SetPrunePath(core.SetPrunePath(false))
+	g := testGraph(t, pwg.CyberShake, 40, 9)
+	hs := sched.Paper14(sched.Options{RFSeed: 2})
+	opt := Options{Workers: 1, Refine: true, RefineMaxEvals: 500}
+
+	core.SetPrunePath(false)
+	unpruned := Run(hs, g, plat, opt)
+	core.SetPrunePath(true)
+	pruned1 := Run(hs, g, plat, opt)
+	prunedN := Run(hs, g, plat, Options{Workers: runtime.NumCPU(), Refine: true, RefineMaxEvals: 500})
+
+	if got, want := fingerprint(prunedN), fingerprint(pruned1); got != want {
+		t.Fatalf("pruned refined results depend on worker count:\n got %s\nwant %s", got, want)
+	}
+	for i := range unpruned {
+		if pruned1[i].Expected > unpruned[i].Expected {
+			t.Fatalf("%s: pruning worsened the refined result %v -> %v",
+				unpruned[i].Name, unpruned[i].Expected, pruned1[i].Expected)
+		}
+	}
+}
+
+// The shared incumbent must be monotone under concurrent updates and
+// never lose a lower value.
+func TestIncumbentConcurrentMin(t *testing.T) {
+	var in incumbent
+	in.reset()
+	if !math.IsInf(in.load(), 1) {
+		t.Fatalf("reset floor = %v, want +Inf", in.load())
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				in.min(float64(1 + (i*7+w*13)%997))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.load(); got != 1 {
+		t.Fatalf("concurrent min floor = %v, want 1", got)
+	}
+	in.min(5)
+	if got := in.load(); got != 1 {
+		t.Fatalf("min with larger value moved the floor to %v", got)
+	}
+}

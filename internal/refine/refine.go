@@ -74,11 +74,33 @@ func ImproveWith(s *core.Schedule, plat failure.Platform, opt Options, ev *core.
 	res.Evals = 1
 	best := res.Start
 
+	// Bound-based candidate pruning (core.SetPrunePath gates it, like
+	// the sweeps'): a flip that *adds* a checkpoint raises the
+	// schedule's core.MaskBound by the task's increment, and when even
+	// that lower bound exceeds the current best — beyond the PruneSlack
+	// floating-point margin — the candidate is provably rejected, so
+	// the O(n²) evaluation is skipped without spending budget. Skipped
+	// candidates cannot change the climb's accept decisions (they would
+	// have been rejected), so the search stays deterministic; the
+	// unspent budget lets the climb probe further, so the result is
+	// never worse than without pruning. Removing a checkpoint lowers
+	// the bound — those candidates always evaluate.
+	var mb *core.MaskBound
+	curLB := 0.0
+	if core.PrunePathEnabled() {
+		mb = core.NewMaskBound(cur.Graph, plat)
+		curLB = mb.Of(cur.Ckpt)
+	}
+
 	improved := true
 	for improved && res.Evals < budget {
 		improved = false
 		// Neighbourhood 1: checkpoint flips.
 		for id := 0; id < n && res.Evals < budget; id++ {
+			if mb != nil && !cur.Ckpt[id] &&
+				(curLB+mb.Inc[id])*(1-core.PruneSlack) > best {
+				continue // provably rejected: v ≥ bound > best
+			}
 			cur.Ckpt[id] = !cur.Ckpt[id]
 			v := flipEval(cur, plat)
 			res.Evals++
@@ -86,6 +108,13 @@ func ImproveWith(s *core.Schedule, plat failure.Platform, opt Options, ev *core.
 				best = v
 				res.Moves++
 				improved = true
+				if mb != nil {
+					// Recompute (not increment) so curLB stays the
+					// exactly-rounded Of(mask): drift from repeated
+					// updates could push it above the true bound and
+					// break the pruning proof.
+					curLB = mb.Of(cur.Ckpt)
+				}
 			} else {
 				cur.Ckpt[id] = !cur.Ckpt[id] // revert
 			}

@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/pwg"
+)
+
+// pruneStrategies is the strategy set the pruned-vs-unpruned harness
+// covers: every N-sweeping strategy, exhaustive and gridded (the two
+// sweepApply code paths), including CkptPer, which has no bounder and
+// must be a transparent no-op under the prune gate.
+func pruneStrategies() []Strategy {
+	return []Strategy{
+		NewCkptW(0), NewCkptC(0), NewCkptD(0),
+		NewCkptW(5), NewCkptC(5), NewCkptD(5),
+		CkptPer{}, CkptPer{Grid: 5},
+	}
+}
+
+// applyFingerprint renders a strategy application bit-exactly.
+func applyFingerprint(s *core.Schedule, v float64) string {
+	return fmt.Sprintf("%x|%v|%v", math.Float64bits(v), s.Order, s.Ckpt)
+}
+
+// pruneInstances yields the harness workload: the paper's four DAG
+// families at two sizes × three seeds, plus random layered DAGs, for
+// ~50 instances total.
+func pruneInstances(t *testing.T) []*dag.Graph {
+	t.Helper()
+	var gs []*dag.Graph
+	for _, wf := range []pwg.Workflow{pwg.Montage, pwg.CyberShake, pwg.Ligo, pwg.Genome} {
+		for _, n := range []int{24, 40} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				g, err := pwg.Generate(wf, n, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g.ScaleCkptCosts(func(tk dag.Task) (float64, float64) {
+					return 0.1 * tk.Weight, 0.1 * tk.Weight
+				})
+				gs = append(gs, g)
+			}
+		}
+	}
+	for seed := uint64(1); seed <= 26; seed++ {
+		gs = append(gs, randomDAG(seed, 10+int(seed%25)))
+	}
+	return gs
+}
+
+// TestPrunedSweepBitIdentical is the pruning differential harness: for
+// every instance × strategy × platform, the bound-pruned (and, for
+// monotone bounds, bisected) sweep must return exactly — Float64bits
+// of the expected makespan, order, checkpoint mask — what the
+// unpruned exhaustive sweep returns. This is the contract that lets
+// pruning default to on without perturbing the canonical winners, the
+// portfolio's worker-count invariance, or wfserve's byte-identical
+// cached responses.
+func TestPrunedSweepBitIdentical(t *testing.T) {
+	defer core.SetPrunePath(core.SetPrunePath(false))
+	ev := core.NewEvaluator()
+	for _, p := range []failure.Platform{
+		{Lambda: 0.01, Downtime: 1},
+		{Lambda: 1e-3},
+	} {
+		for gi, g := range pruneInstances(t) {
+			order := DF{}.Linearize(g)
+			for _, st := range pruneStrategies() {
+				core.SetPrunePath(false)
+				s0, v0 := st.Apply(g, p, order, ev)
+				core.SetPrunePath(true)
+				s1, v1 := st.Apply(g, p, order, ev)
+				if got, want := applyFingerprint(s1, v1), applyFingerprint(s0, v0); got != want {
+					t.Fatalf("instance %d, %s, λ=%v: pruned sweep diverged\n got %s\nwant %s",
+						gi, st.Name(), p.Lambda, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepBoundValid pins the inequality everything above rests on:
+// for every N the sweep visits, the strategy's bound is a true lower
+// bound on the computed expected makespan of its schedule at N (up to
+// the PruneSlack margin Prunable discounts by).
+func TestSweepBoundValid(t *testing.T) {
+	p := failure.Platform{Lambda: 0.01, Downtime: 1}
+	ev := core.NewEvaluator()
+	for gi, g := range pruneInstances(t)[:12] {
+		order := BF{}.Linearize(g)
+		for _, st := range []Strategy{NewCkptW(0), NewCkptC(0), NewCkptD(0)} {
+			sw := st.(NSweeper)
+			bound, mono := SweepBounder(sw, g, p, order)
+			if bound == nil || !mono {
+				t.Fatalf("instance %d, %s: ranked strategy lost its monotone bounder", gi, st.Name())
+			}
+			masker := sw.NewMasker(g, order)
+			mask := make([]bool, g.N())
+			s := &core.Schedule{Graph: g, Order: order, Ckpt: mask}
+			prev := math.Inf(-1)
+			for _, N := range sw.Sweep(g.N()) {
+				b := bound(N)
+				if b < prev {
+					t.Fatalf("instance %d, %s: bound not monotone at N=%d (%v < %v)",
+						gi, st.Name(), N, b, prev)
+				}
+				prev = b
+				masker(N, mask)
+				if v := ev.Eval(s, p); b*(1-core.PruneSlack) > v {
+					t.Fatalf("instance %d, %s, N=%d: bound %v exceeds value %v",
+						gi, st.Name(), N, b, v)
+				}
+			}
+		}
+	}
+}
+
+// TestPrunableSemantics pins the slack arithmetic on its edges.
+func TestPrunableSemantics(t *testing.T) {
+	if Prunable(1, math.Inf(1)) {
+		t.Fatal("infinite incumbent must prune nothing")
+	}
+	if Prunable(5, 5) {
+		t.Fatal("bound equal to incumbent must not prune (ties are wins)")
+	}
+	if Prunable(5*(1+core.PruneSlack/2), 5) {
+		t.Fatal("bound within the slack margin must not prune")
+	}
+	if !Prunable(5*(1+3*core.PruneSlack), 5) {
+		t.Fatal("bound clearly above the incumbent must prune")
+	}
+}

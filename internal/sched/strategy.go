@@ -67,6 +67,57 @@ type DeltaSweepable interface {
 	DeltaSweep() bool
 }
 
+// BoundedSweeper is implemented by NSweepers that can cheaply
+// lower-bound the expected makespan of every candidate of their
+// N-sweep. The sweep engines (sweepApply here, sweepCell in
+// internal/portfolio) use the bound to discard candidates that
+// provably lose to an already-evaluated incumbent — the bound of a
+// pruned N exceeds the incumbent's value by more than the
+// core.PruneSlack floating-point margin, so the candidate could not
+// have beaten it under sched.CanonicalBetter (strictly larger value
+// loses regardless of tie-breaks). Pruning therefore never changes
+// the canonical winner: the serial sweep, the parallel portfolio, the
+// worker-count-invariance contract and wfserve's byte-identical
+// responses all hold bitwise with pruning on or off, which is exactly
+// what the pruned-vs-unpruned differential harness pins.
+type BoundedSweeper interface {
+	NSweeper
+	// NewBounder returns bound(N) ≤ the expected makespan of the
+	// strategy's schedule at checkpoint count N on (g, plat, order),
+	// valid for every N the sweep visits, plus whether the bound is
+	// non-decreasing in N. A monotone bound makes the pruned set a
+	// suffix of an ascending scan, so the engines locate the prune
+	// cutoff by bisection instead of testing every N. bound must be
+	// O(1) per call after O(n log n) setup.
+	NewBounder(g *dag.Graph, plat failure.Platform, order []int) (bound func(N int) float64, monotone bool)
+}
+
+// SweepBounder returns the strategy's sweep lower bound, or nil when
+// the strategy has none or bound-based pruning is globally disabled
+// (core.SetPrunePath). It is the single gate every pruning consumer
+// routes through, mirroring SweepEvaluator for the delta path.
+func SweepBounder(sw NSweeper, g *dag.Graph, plat failure.Platform, order []int) (bound func(N int) float64, monotone bool) {
+	if !core.PrunePathEnabled() {
+		return nil, false
+	}
+	bs, ok := sw.(BoundedSweeper)
+	if !ok {
+		return nil, false
+	}
+	return bs.NewBounder(g, plat, order)
+}
+
+// Prunable reports whether a candidate with the given lower bound
+// provably loses to an incumbent with the given expected makespan:
+// even after discounting the bound by the PruneSlack floating-point
+// margin it still strictly exceeds the incumbent, so the candidate's
+// computed value would too (and a strictly larger value loses under
+// CanonicalBetter before any tie-break). An infinite incumbent (no
+// candidate evaluated yet) prunes nothing.
+func Prunable(bound, incumbent float64) bool {
+	return bound*(1-core.PruneSlack) > incumbent
+}
+
 // CanonicalBetter reports whether candidate 1 (expected makespan v1,
 // c1 checkpoints, index i1) beats candidate 2 under the total order
 // of the portfolio determinism contract: lower expected makespan,
@@ -103,20 +154,43 @@ func sweepApply(sw NSweeper, g *dag.Graph, plat failure.Platform, order []int, e
 	mask := make([]bool, n)
 	s := &core.Schedule{Graph: g, Order: order, Ckpt: mask}
 	evalPoint := SweepEvaluator(sw, ev)
+	bound, mono := SweepBounder(sw, g, plat, order)
 	bestVal := math.Inf(1)
 	bestN, bestK := -1, 0
 	var bestMask []bool
-	eval := func(N int) {
+	// eval reports whether the incumbent *value* improved (a tie-break
+	// win keeps bestVal, so the prune cutoff is unchanged).
+	eval := func(N int) bool {
 		masker(N, mask)
 		v := evalPoint(s, plat)
 		k := s.NumCheckpointed()
 		if CanonicalBetter(v, k, N, bestVal, bestK, bestN) {
+			improved := v < bestVal
 			bestVal, bestK, bestN = v, k, N
 			bestMask = append(bestMask[:0], mask...)
+			return improved
 		}
+		return false
 	}
-	for _, N := range ns {
-		eval(N)
+	// Stage 1. Sweep's ns is strictly increasing, so with a monotone
+	// bound the prunable counts form a suffix of the scan: every
+	// incumbent improvement re-bisects the suffix boundary (hi1), and
+	// reaching a prunable N ends the stage. Non-monotone bounds fall
+	// back to a per-N check. The first candidate always evaluates
+	// (bestVal starts at +Inf), so bestMask is never nil.
+	hi1 := len(ns)
+	for idx := 0; idx < hi1; idx++ {
+		if bound != nil && Prunable(bound(ns[idx]), bestVal) {
+			if mono {
+				break
+			}
+			continue
+		}
+		if eval(ns[idx]) && bound != nil && mono {
+			hi1 = idx + 1 + sort.Search(hi1-idx-1, func(x int) bool {
+				return Prunable(bound(ns[idx+1+x]), bestVal)
+			})
+		}
 	}
 	firstBest := bestN
 	if lo, hi := sw.SecondStage(n, firstBest, ns); lo <= hi {
@@ -125,11 +199,25 @@ func sweepApply(sw NSweeper, g *dag.Graph, plat failure.Platform, order []int, e
 		// incremental evaluator's loaded state and proceeds by
 		// single-bit steps. The candidate set is identical and the
 		// comparator is a total order, so the winner (and every
-		// point's value) is the same as for an ascending scan.
-		for N := hi; N >= lo; N-- {
-			if N != firstBest {
-				eval(N)
+		// point's value) is the same as for an ascending scan. A
+		// monotone bound makes the pruned counts a prefix of this
+		// descending scan: bisect the largest count still worth
+		// evaluating and start there; per-N checks below catch the
+		// cutoff moving further down as the incumbent improves.
+		start := hi
+		if bound != nil && mono {
+			start = lo + sort.Search(hi-lo+1, func(x int) bool {
+				return Prunable(bound(lo+x), bestVal)
+			}) - 1
+		}
+		for N := start; N >= lo; N-- {
+			if N == firstBest {
+				continue
 			}
+			if bound != nil && Prunable(bound(N), bestVal) {
+				continue
+			}
+			eval(N)
 		}
 	}
 	return &core.Schedule{Graph: g, Order: order, Ckpt: bestMask}, bestVal
@@ -282,6 +370,24 @@ func (r rankedStrategy) SecondStage(n, bestN int, ns []int) (lo, hi int) {
 		}
 	}
 	return lo, hi
+}
+
+// NewBounder implements BoundedSweeper: the mask for count N is the
+// top-N prefix of the fixed ranking (independent of the
+// linearization), so core.MaskBound reduces to Base plus a prefix sum
+// of the ranked per-task increments — O(1) per N. The increments are
+// clamped non-negative and fl(x+y) ≥ x whenever y ≥ 0, so the
+// computed prefix sums are monotone non-decreasing in N, which lets
+// the sweep engines bisect the prune cutoff.
+func (r rankedStrategy) NewBounder(g *dag.Graph, plat failure.Platform, order []int) (func(N int) float64, bool) {
+	mb := core.NewMaskBound(g, plat)
+	ranked := r.rank(g)
+	pre := make([]float64, len(ranked)+1)
+	pre[0] = mb.Base
+	for j, id := range ranked {
+		pre[j+1] = pre[j] + mb.Inc[id]
+	}
+	return func(N int) float64 { return pre[N] }, true
 }
 
 func (r rankedStrategy) Apply(g *dag.Graph, plat failure.Platform, order []int, ev *core.Evaluator) (*core.Schedule, float64) {
