@@ -27,6 +27,7 @@ test:
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 -run 'TestConcurrent' ./internal/serve
+	$(GO) test -race -count=1 -run 'TestReactiveDeterminism|TestCompareMCWorkerInvariance' ./internal/rerun
 
 # Run the scheduling service locally (ADDR overrides the listen
 # address: make serve ADDR=:9090).
@@ -46,7 +47,7 @@ bench:
 #   go run ./cmd/benchjson -file BENCH_sweep.json -extract <new>  > new.txt
 #   benchstat old.txt new.txt
 BENCH_LABEL ?= local-$(shell date +%Y-%m-%d)
-BENCH_JSON_SET = BenchmarkEvaluator$$|BenchmarkPortfolioSerial$$|BenchmarkPortfolioParallel$$|BenchmarkPortfolioN100$$|BenchmarkPortfolioN2000$$|BenchmarkRefine$$|BenchmarkRefineN700$$|BenchmarkSweepExhaustive$$
+BENCH_JSON_SET = BenchmarkEvaluator$$|BenchmarkPortfolioSerial$$|BenchmarkPortfolioParallel$$|BenchmarkPortfolioN100$$|BenchmarkPortfolioN2000$$|BenchmarkRefine$$|BenchmarkRefineN700$$|BenchmarkSweepExhaustive$$|BenchmarkReactiveRun$$
 bench-json:
 	@out=$$(mktemp); \
 	{ $(GO) test -run='^$$' -bench='$(BENCH_JSON_SET)' -benchtime=1x . && \
@@ -71,7 +72,7 @@ bench-json:
 GATE_BASELINE ?= gate-baseline
 GATE_COUNT ?= 6
 GATE_THRESHOLD ?= 0.10
-GATE_REQUIRE = BenchmarkDeltaFlip/n=700,BenchmarkSweepExhaustive/n=700,BenchmarkPortfolioN100,BenchmarkRefineN700
+GATE_REQUIRE = BenchmarkDeltaFlip/n=700,BenchmarkSweepExhaustive/n=700,BenchmarkPortfolioN100,BenchmarkRefineN700,BenchmarkReactiveRun
 # One shell pipeline emitting GATE_COUNT samples of every gated
 # benchmark; per-benchmark -benchtime keeps each sample meaningful
 # without letting the slow sweeps dominate the wall clock.
@@ -79,6 +80,7 @@ GATE_RUN = { \
   $(GO) test -run='^$$' -bench='BenchmarkSweepExhaustive$$' -benchtime=2x -count=$(GATE_COUNT) . && \
   $(GO) test -run='^$$' -bench='BenchmarkPortfolioN100$$' -benchtime=20x -count=$(GATE_COUNT) . && \
   $(GO) test -run='^$$' -bench='BenchmarkRefineN700$$' -benchtime=3x -count=$(GATE_COUNT) . && \
+  $(GO) test -run='^$$' -bench='BenchmarkReactiveRun$$' -benchtime=50x -count=$(GATE_COUNT) . && \
   $(GO) test -run='^$$' -bench='BenchmarkDeltaFlip$$' -benchtime=200x -count=$(GATE_COUNT) ./internal/core; }
 
 # Run the gate's benchmark set without comparing (eyeball the output).

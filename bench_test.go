@@ -23,6 +23,7 @@ import (
 	"repro/internal/portfolio"
 	"repro/internal/pwg"
 	"repro/internal/refine"
+	"repro/internal/rerun"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/simulator"
@@ -146,6 +147,29 @@ func BenchmarkEvaluatorReference(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkReactiveRun measures one reactive execution of the rerun
+// engine on a 100-task CyberShake workflow: fault-injected run plus
+// reschedule-on-failure, with the residual-plan cache warm after the
+// first iteration (the steady state of a Monte-Carlo batch). A fresh
+// source per iteration keeps the per-iteration work constant.
+func BenchmarkReactiveRun(b *testing.B) {
+	g, err := pwg.Generate(pwg.CyberShake, 100, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.ScaleCkptCosts(func(t dag.Task) (float64, float64) { return 0.1 * t.Weight, 0.1 * t.Weight })
+	e := rerun.New(g, failure.Platform{Lambda: 1e-3, Downtime: 10},
+		rerun.Options{Workers: 1, Grid: 16})
+	e.Static()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := e.Run(rng.New(42)); r.Makespan <= 0 {
+			b.Fatal("bad reactive run")
+		}
 	}
 }
 

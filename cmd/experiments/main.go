@@ -1,7 +1,13 @@
 // Command experiments regenerates the paper's evaluation figures
-// (Figures 2–7, main text and appendix). Each figure is printed as an
-// aligned table of T/T_inf values (the paper's y-axis) and optionally
-// written as CSV.
+// (Figures 2–7, main text and appendix) plus the repo's extra
+// scenario families (scale-*, reactive-*). Each figure is printed as
+// an aligned table of T/T_inf values (the paper's y-axis) and
+// optionally written as CSV.
+//
+// The reactive-* scenarios compare static scheduling against the
+// internal/rerun reschedule-on-failure policy by paired Monte-Carlo;
+// for them -mc sets the per-policy trial count (default 2000) and
+// the x-axis is the family's own bounded size sweep.
 //
 // Usage:
 //
@@ -47,7 +53,10 @@ func main() {
 
 	if *list {
 		for _, s := range experiments.AllSpecs() {
-			fmt.Printf("%-16s %s\n", s.ID, s.Title)
+			fmt.Printf("%-20s %s\n", s.ID, s.Title)
+		}
+		for _, s := range experiments.ReactiveSpecs() {
+			fmt.Printf("%-20s %s\n", s.ID, s.Title)
 		}
 		return
 	}
@@ -67,6 +76,13 @@ func main() {
 	ids := resolveIDs(*figs)
 
 	for _, id := range ids {
+		if rspec, rerr := experiments.ReactiveSpecByID(id); rerr == nil {
+			if err := runReactive(rspec, cfg, *mcVal, *out); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
+		}
 		spec, err := experiments.SpecByID(id)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -101,6 +117,30 @@ func main() {
 			}
 		}
 	}
+}
+
+// runReactive executes one reactive-* scenario: the paired
+// static-vs-reactive Monte-Carlo comparison over the family's own
+// bounded size sweep (the -quick/-full size grids are for the static
+// figures; every reactive trial that meets a failure pays residual
+// portfolio searches, so the axis stays at ReactiveSizes).
+func runReactive(spec experiments.ReactiveSpec, cfg experiments.Config, trials int, out string) error {
+	if trials <= 0 {
+		trials = experiments.ReactiveTrialsDefault
+	}
+	cfg.Sizes = nil
+	start := time.Now()
+	fig, err := experiments.RunReactive(spec, cfg, trials)
+	if err != nil {
+		return err
+	}
+	fmt.Println(fig.Table())
+	fmt.Printf("best per x: %s\n", strings.Join(fig.BestSeries(), " "))
+	fmt.Printf("(%s, %d trials/policy in %v)\n\n", spec.ID, trials, time.Since(start).Round(time.Millisecond))
+	if out != "" {
+		return fig.WriteCSV(out)
+	}
+	return nil
 }
 
 // maxRelDiff returns the largest relative deviation between the
@@ -154,6 +194,9 @@ func resolveIDs(figs string) []string {
 	if figs == "all" {
 		var ids []string
 		for _, s := range experiments.AllSpecs() {
+			ids = append(ids, s.ID)
+		}
+		for _, s := range experiments.ReactiveSpecs() {
 			ids = append(ids, s.ID)
 		}
 		return ids

@@ -36,7 +36,7 @@ func TestBuildConfig(t *testing.T) {
 
 func TestResolveIDs(t *testing.T) {
 	all := resolveIDs("all")
-	if len(all) != len(experiments.AllSpecs()) {
+	if len(all) != len(experiments.AllSpecs())+len(experiments.ReactiveSpecs()) {
 		t.Fatalf("all resolved to %d ids", len(all))
 	}
 	ids := resolveIDs("fig2a, fig3b ,,fig7d")
@@ -45,9 +45,13 @@ func TestResolveIDs(t *testing.T) {
 	}
 }
 
-// End-to-end smoke: resolved IDs must all be runnable specs.
+// End-to-end smoke: resolved IDs must all be runnable specs — either
+// a paper figure or a reactive scenario.
 func TestAllIDsResolve(t *testing.T) {
 	for _, id := range resolveIDs("all") {
+		if _, rerr := experiments.ReactiveSpecByID(id); rerr == nil {
+			continue
+		}
 		if _, err := experiments.SpecByID(id); err != nil {
 			t.Fatal(err)
 		}

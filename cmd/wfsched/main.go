@@ -12,11 +12,18 @@
 // single output byte, and -refine adds a local-search pass on every
 // heuristic's winner.
 //
+// -reactive additionally runs the internal/rerun engine: a paired
+// Monte-Carlo comparison (common random numbers) of the static
+// portfolio winner against the reschedule-on-failure policy that
+// re-runs the portfolio on the surviving subgraph after every
+// failure.
+//
 // Examples:
 //
 //	wfsched -workflow Montage -n 100 -lambda 1e-3
 //	wfsched -workflow Ligo -n 200 -heuristic DF-CkptW -mc 5000
 //	wfsched -workflow CyberShake -n 2000 -grid 60 -workers 16 -refine
+//	wfsched -workflow Montage -n 100 -downtime 10 -reactive -mc 4000
 //	wfsched -in my.wf -cost keep -heuristic all
 package main
 
@@ -34,10 +41,15 @@ import (
 	"repro/internal/mc"
 	"repro/internal/portfolio"
 	"repro/internal/pwg"
+	"repro/internal/rerun"
 	"repro/internal/sched"
 	"repro/internal/simulator"
 	"repro/internal/wfio"
 )
+
+// reactiveTrialsDefault is the paired-trial count -reactive uses when
+// -mc does not specify one.
+const reactiveTrialsDefault = 2000
 
 func main() {
 	var (
@@ -53,10 +65,11 @@ func main() {
 		mcTrials  = flag.Int("mc", 0, "Monte-Carlo trials to cross-check the best schedule")
 		workers   = flag.Int("workers", 0, "portfolio-search and Monte-Carlo worker goroutines (0 = all cores; any value produces identical output)")
 		refineOn  = flag.Bool("refine", false, "hill-climb every heuristic's winning schedule")
+		reactive  = flag.Bool("reactive", false, "compare the static winner against reschedule-on-failure by paired Monte-Carlo")
 		dot       = flag.String("dot", "", "write the best schedule's DAG as DOT to this file")
 	)
 	flag.Parse()
-	if err := run(*workflow, *n, *seed, *in, *lambda, *downtime, *cost, *heuristic, *grid, *mcTrials, *workers, *refineOn, *dot); err != nil {
+	if err := run(*workflow, *n, *seed, *in, *lambda, *downtime, *cost, *heuristic, *grid, *mcTrials, *workers, *refineOn, *reactive, *dot); err != nil {
 		fmt.Fprintln(os.Stderr, "wfsched:", err)
 		os.Exit(1)
 	}
@@ -82,7 +95,7 @@ func validateFlags(n int, in string, grid, mcTrials, workers int) error {
 }
 
 func run(workflow string, n int, seed uint64, in string, lambda, downtime float64,
-	cost, heuristic string, grid, mcTrials, workers int, refineOn bool, dot string) error {
+	cost, heuristic string, grid, mcTrials, workers int, refineOn, reactive bool, dot string) error {
 	if err := validateFlags(n, in, grid, mcTrials, workers); err != nil {
 		return err
 	}
@@ -165,6 +178,27 @@ func run(workflow string, n int, seed uint64, in string, lambda, downtime float6
 			mcTrials, best.Name, acc.Mean(), acc.CI(0.99), best.Expected, res.AvgFailures())
 		fmt.Printf("makespan distribution: p5=%.5g median=%.5g p95=%.5g p99=%.5g max=%.5g\n",
 			res.Percentiles[0], res.Percentiles[1], res.Percentiles[2], res.Percentiles[3], acc.Max())
+	}
+	if reactive {
+		trials := mcTrials
+		if trials == 0 {
+			trials = reactiveTrialsDefault
+		}
+		e := rerun.New(g, plat, rerun.Options{Workers: workers, Grid: grid, RFSeed: seed, Heuristics: hs})
+		cmp, err := e.CompareMC(trials, seed+199, workers)
+		if err != nil {
+			return err
+		}
+		sm := cmp.StaticMC.Makespan
+		rm := cmp.ReactiveMC.Makespan
+		hits, misses := e.CacheStats()
+		fmt.Printf("\nreactive rescheduling (%d paired trials, common random numbers):\n", trials)
+		fmt.Printf("  static   %-14s mean=%.4f ±%.4f (99%% CI), avg failures/run=%.2f\n",
+			cmp.Static.Name, sm.Mean(), sm.CI(0.99), cmp.StaticMC.AvgFailures())
+		fmt.Printf("  reactive %-14s mean=%.4f ±%.4f (99%% CI), avg reschedules/run=%.2f\n",
+			cmp.Static.Name, rm.Mean(), rm.CI(0.99), cmp.ReactiveMC.AvgFailures())
+		fmt.Printf("  improvement: %.2f%%  (residual searches: %d run, %d answered from cache)\n",
+			100*(sm.Mean()-rm.Mean())/sm.Mean(), misses, hits)
 	}
 	if dot != "" {
 		if err := os.WriteFile(dot, []byte(g.DOT(best.Name, best.Schedule.Ckpt)), 0o644); err != nil {

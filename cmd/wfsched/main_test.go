@@ -31,7 +31,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 
 func TestRunGeneratedAllHeuristics(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("CyberShake", 50, 1, "", 0, 0, "0.1w", "all", 10, 0, 0, false, "")
+		return run("CyberShake", 50, 1, "", 0, 0, "0.1w", "all", 10, 0, 0, false, false, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -43,9 +43,23 @@ func TestRunGeneratedAllHeuristics(t *testing.T) {
 	}
 }
 
+func TestRunReactiveComparison(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("Montage", 40, 2, "", 1e-3, 10, "0.1w", "all", 8, 400, 2, false, true, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"reactive rescheduling (400 paired trials", "static", "reactive", "improvement", "residual searches"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
 func TestRunSingleHeuristicWithMC(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("Montage", 40, 2, "", 1e-3, 1, "0.01w", "DF-CkptW", 8, 500, 2, false, "")
+		return run("Montage", 40, 2, "", 1e-3, 1, "0.01w", "DF-CkptW", 8, 500, 2, false, false, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -67,7 +81,7 @@ func TestRunFromFileAndDOT(t *testing.T) {
 	}
 	dot := filepath.Join(dir, "g.dot")
 	out, err := capture(t, func() error {
-		return run("", 0, 1, wf, 5e-3, 0, "keep", "all", 0, 0, 0, false, dot)
+		return run("", 0, 1, wf, 5e-3, 0, "keep", "all", 0, 0, 0, false, false, dot)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -96,7 +110,7 @@ func TestRunFromDAXFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := capture(t, func() error {
-		return run("", 0, 1, daxFile, 1e-3, 0, "0.1w", "DF-CkptW", 0, 0, 0, false, "")
+		return run("", 0, 1, daxFile, 1e-3, 0, "0.1w", "DF-CkptW", 0, 0, 0, false, false, "")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -112,27 +126,27 @@ func TestRunErrors(t *testing.T) {
 		return err
 	}
 	if err := silent(func() error {
-		return run("Nope", 50, 1, "", 0, 0, "0.1w", "all", 0, 0, 0, false, "")
+		return run("Nope", 50, 1, "", 0, 0, "0.1w", "all", 0, 0, 0, false, false, "")
 	}); err == nil {
 		t.Fatal("unknown workflow accepted")
 	}
 	if err := silent(func() error {
-		return run("Montage", 50, 1, "", 0, 0, "bogus", "all", 0, 0, 0, false, "")
+		return run("Montage", 50, 1, "", 0, 0, "bogus", "all", 0, 0, 0, false, false, "")
 	}); err == nil {
 		t.Fatal("bad cost model accepted")
 	}
 	if err := silent(func() error {
-		return run("Montage", 50, 1, "", 0, 0, "0.1w", "XF-CkptQ", 0, 0, 0, false, "")
+		return run("Montage", 50, 1, "", 0, 0, "0.1w", "XF-CkptQ", 0, 0, 0, false, false, "")
 	}); err == nil {
 		t.Fatal("unknown heuristic accepted")
 	}
 	if err := silent(func() error {
-		return run("Montage", 50, 1, "", -4, 0, "0.1w", "all", 0, 0, 0, false, "")
+		return run("Montage", 50, 1, "", -4, 0, "0.1w", "all", 0, 0, 0, false, false, "")
 	}); err == nil {
 		t.Fatal("negative λ accepted")
 	}
 	if err := silent(func() error {
-		return run("", 0, 1, "/nonexistent/x.wf", 0, 0, "keep", "all", 0, 0, 0, false, "")
+		return run("", 0, 1, "/nonexistent/x.wf", 0, 0, "keep", "all", 0, 0, 0, false, false, "")
 	}); err == nil {
 		t.Fatal("missing input file accepted")
 	}
@@ -146,7 +160,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunWorkersByteIdentical(t *testing.T) {
 	runWith := func(workers int) string {
 		out, err := capture(t, func() error {
-			return run("CyberShake", 45, 3, "", 2e-3, 0, "0.1w", "all", 0, 400, workers, true, "")
+			return run("CyberShake", 45, 3, "", 2e-3, 0, "0.1w", "all", 0, 400, workers, true, false, "")
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -176,7 +190,7 @@ func TestRunWorkersByteIdentical(t *testing.T) {
 func TestRunRefineDeltaByteIdentical(t *testing.T) {
 	runRefine := func(workflow string, n int, seed uint64, grid int) string {
 		out, err := capture(t, func() error {
-			return run(workflow, n, seed, "", 2e-3, 0, "0.1w", "all", grid, 300, 2, true, "")
+			return run(workflow, n, seed, "", 2e-3, 0, "0.1w", "all", grid, 300, 2, true, false, "")
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -254,7 +268,7 @@ func TestFlagValidation(t *testing.T) {
 		{name: "negative workers", n: 40, workers: -1},
 	} {
 		_, err := capture(t, func() error {
-			return run("Montage", tc.n, 1, tc.in, 0, 0, "0.1w", "all", tc.grid, tc.mcTrials, tc.workers, false, "")
+			return run("Montage", tc.n, 1, tc.in, 0, 0, "0.1w", "all", tc.grid, tc.mcTrials, tc.workers, false, false, "")
 		})
 		if err == nil {
 			t.Errorf("%s accepted", tc.name)
@@ -272,7 +286,7 @@ func TestFlagValidation(t *testing.T) {
 // used to hit an int(NaN) conversion in the sweep code.
 func TestGridOneRuns(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("Random", 20, 1, "", 0, 0, "0.1w", "all", 1, 0, 1, false, "")
+		return run("Random", 20, 1, "", 0, 0, "0.1w", "all", 1, 0, 1, false, false, "")
 	})
 	if err != nil {
 		t.Fatal(err)

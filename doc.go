@@ -12,7 +12,8 @@
 // (internal/pwg), a Monte-Carlo fault-injection simulator
 // (internal/simulator), the sharded parallel Monte-Carlo engine
 // (internal/mc), the Section 6 experiment harness
-// (internal/experiments), and the HTTP scheduling service
+// (internal/experiments), the reactive rescheduling engine
+// (internal/rerun), and the HTTP scheduling service
 // (internal/serve).
 //
 // # The Monte-Carlo engine
@@ -119,6 +120,26 @@
 // significant regression past the threshold. Deliberate performance
 // changes refresh the baseline via `make bench-baseline` and commit
 // the result.
+//
+// # The reactive rescheduling engine
+//
+// The paper's pipeline is static: one portfolio search up front, then
+// in-place retries under failures. internal/rerun executes a schedule
+// through the simulator's resumable primitives (Begin/TryTask/Finish)
+// as an event stream and re-runs the portfolio on the residual
+// workflow at every failure. The residual model matches what
+// execution actually pays: the never-completed tasks, plus a recovery
+// stub per on-disk input a pending task reads, plus a re-execution
+// node per completed-but-lost output still read — completed work
+// nothing reads is neither re-executed nor re-priced. Residual
+// searches are pure functions of the (completed, on-disk) state and
+// are memoized in a plan cache shared across Monte-Carlo shards; the
+// engine inherits the determinism contract (fixed seed: bit-identical
+// event trace and makespan for any worker count). Engine.CompareMC
+// pairs static and reactive runs under common random numbers;
+// cmd/wfsched -reactive, the reactive-* experiment family and
+// examples/reactive sit on top, and BenchmarkReactiveRun is part of
+// the blocking benchmark gate.
 //
 // # The scheduling service
 //

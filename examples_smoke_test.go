@@ -25,6 +25,7 @@ var exampleRuns = []struct {
 	{"montage", []string{"-n", "60", "-workers", "64"}},
 	{"nonblocking", []string{"-n", "50", "-trials", "300"}},
 	{"quickstart", []string{"-trials", "300"}},
+	{"reactive", []string{"-n", "40", "-trials", "300"}},
 	{"robustness", []string{"-n", "40", "-trials", "300"}},
 }
 

@@ -371,6 +371,44 @@ func (g *Graph) Ancestors(id int) []bool {
 	return seen
 }
 
+// Subgraph returns the subgraph induced by the tasks with keep[id]
+// true, with dense new IDs assigned in increasing original-ID order,
+// plus the mapping toOrig (new ID → original ID). Edges between two
+// kept tasks are preserved; edges touching a dropped task are
+// omitted — a dropped predecessor's output is assumed available to
+// the subgraph (the reactive rescheduler only drops tasks whose
+// outputs survive on stable storage). It panics when keep's length
+// does not match the task count; keeping no tasks returns an empty
+// graph, which Validate rejects, so callers guard the all-dropped
+// case themselves.
+func (g *Graph) Subgraph(keep []bool) (*Graph, []int) {
+	if len(keep) != len(g.tasks) {
+		panic(fmt.Sprintf("dag: Subgraph keep mask has %d entries for %d tasks", len(keep), len(g.tasks)))
+	}
+	newID := make([]int, len(g.tasks))
+	var toOrig []int
+	for id := range g.tasks {
+		if keep[id] {
+			newID[id] = len(toOrig)
+			toOrig = append(toOrig, id)
+		} else {
+			newID[id] = -1
+		}
+	}
+	sub := New()
+	for _, orig := range toOrig {
+		sub.AddTask(g.tasks[orig])
+	}
+	for _, orig := range toOrig {
+		for _, succ := range g.succs[orig] {
+			if keep[succ] {
+				sub.MustAddEdge(newID[orig], newID[succ])
+			}
+		}
+	}
+	return sub, toOrig
+}
+
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{

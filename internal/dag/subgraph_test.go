@@ -1,0 +1,99 @@
+package dag
+
+import "testing"
+
+// Subgraph of Figure 1 dropping {T0, T3}: the survivors keep their
+// task records, internal edges are preserved with remapped IDs, and
+// edges into the dropped set vanish.
+func TestSubgraphInduced(t *testing.T) {
+	g := Figure1([]float64{30, 45, 25, 60, 40, 35, 20, 50}, UniformCosts(0.1))
+	keep := []bool{false, true, true, false, true, true, true, true}
+	sub, toOrig := g.Subgraph(keep)
+
+	if sub.N() != 6 {
+		t.Fatalf("subgraph has %d tasks, want 6", sub.N())
+	}
+	wantOrig := []int{1, 2, 4, 5, 6, 7}
+	for i, orig := range toOrig {
+		if wantOrig[i] != orig {
+			t.Fatalf("toOrig = %v, want %v", toOrig, wantOrig)
+		}
+		if sub.Task(i) != g.Task(orig) {
+			t.Fatalf("task %d (orig %d) record differs: %+v vs %+v", i, orig, sub.Task(i), g.Task(orig))
+		}
+	}
+
+	// Every subgraph edge maps to an original edge between kept tasks,
+	// and every original kept-kept edge survives.
+	newID := make(map[int]int)
+	for i, orig := range toOrig {
+		newID[orig] = i
+	}
+	wantEdges := 0
+	for orig := 0; orig < g.N(); orig++ {
+		if !keep[orig] {
+			continue
+		}
+		for _, succ := range g.Succs(orig) {
+			if !keep[succ] {
+				continue
+			}
+			wantEdges++
+			found := false
+			for _, s := range sub.Succs(newID[orig]) {
+				if s == newID[succ] {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d→%d lost in subgraph", orig, succ)
+			}
+		}
+	}
+	if sub.M() != wantEdges {
+		t.Fatalf("subgraph has %d edges, want %d", sub.M(), wantEdges)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Keeping everything reproduces the graph; the subgraph is a copy
+// (mutations do not leak back).
+func TestSubgraphKeepAllIsCopy(t *testing.T) {
+	g := Figure1([]float64{1, 2, 3, 4, 5, 6, 7, 8}, UniformCosts(0.5))
+	keep := make([]bool, g.N())
+	for i := range keep {
+		keep[i] = true
+	}
+	sub, toOrig := g.Subgraph(keep)
+	if sub.N() != g.N() || sub.M() != g.M() {
+		t.Fatalf("keep-all subgraph %v differs from original %v", sub, g)
+	}
+	for i, orig := range toOrig {
+		if i != orig {
+			t.Fatalf("keep-all remap must be the identity, got toOrig[%d]=%d", i, orig)
+		}
+	}
+	sub.SetTask(0, Task{Name: "mutated", Weight: 99})
+	if g.Task(0).Name == "mutated" {
+		t.Fatal("subgraph mutation leaked into the original graph")
+	}
+}
+
+func TestSubgraphEmptyAndBadMask(t *testing.T) {
+	g := Figure1([]float64{1, 2, 3, 4, 5, 6, 7, 8}, UniformCosts(0.1))
+	sub, toOrig := g.Subgraph(make([]bool, g.N()))
+	if sub.N() != 0 || len(toOrig) != 0 {
+		t.Fatalf("all-dropped subgraph not empty: %v, %v", sub, toOrig)
+	}
+	if err := sub.Validate(); err == nil {
+		t.Fatal("empty subgraph must fail Validate (callers guard this case)")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short keep mask did not panic")
+		}
+	}()
+	g.Subgraph([]bool{true})
+}

@@ -1,0 +1,158 @@
+package experiments
+
+// The reactive-* scenario family: static versus reactive scheduling
+// under fault injection, beyond the paper's static-only pipeline. For
+// each workflow family the figure sweeps task counts and plots three
+// comparable T/T_inf series — the static plan's Theorem 3 analytic
+// expectation, the same plan's simulated mean (in-place retries), and
+// the simulated mean of internal/rerun's reschedule-on-failure policy.
+// The two static series cross-validate each other exactly as in
+// ValidateMC; the reactive series quantifies what re-running the
+// portfolio on the surviving subgraph buys at each scale. Both
+// Monte-Carlo series run from the same master seed, so shard k of
+// either policy replays the identical failure stream (common random
+// numbers).
+
+import (
+	"fmt"
+
+	"repro/internal/failure"
+	"repro/internal/pwg"
+	"repro/internal/report"
+	"repro/internal/rerun"
+)
+
+// ReactiveSpec is one scenario of the reactive family.
+type ReactiveSpec struct {
+	ID       string
+	Title    string
+	Workflow pwg.Workflow
+	Lambda   float64
+	Downtime float64
+	Cost     CostModel
+	// Sizes is the task-count sweep (nil → Config.Sizes →
+	// ReactiveSizes).
+	Sizes []int
+}
+
+// ReactiveSizes is the default x-axis of the reactive scenarios:
+// smaller than the figure sweeps because every Monte-Carlo trial that
+// meets a failure pays a fresh portfolio search on the residual graph
+// (amortized by the engine's plan cache).
+func ReactiveSizes() []int { return []int{50, 100, 150, 200} }
+
+// ReactiveSpecs returns the reactive-* scenarios, one per Pegasus
+// family, at the paper's main failure rates and proportional
+// checkpoint costs, with a nonzero downtime so every failure also
+// costs availability.
+func ReactiveSpecs() []ReactiveSpec {
+	return []ReactiveSpec{
+		{ID: "reactive-montage", Title: "Montage: λ=0.001, D=10s, c=0.1w (static vs reactive)",
+			Workflow: pwg.Montage, Lambda: 1e-3, Downtime: 10, Cost: Proportional(0.1)},
+		{ID: "reactive-cybershake", Title: "CyberShake: λ=0.001, D=10s, c=0.1w (static vs reactive)",
+			Workflow: pwg.CyberShake, Lambda: 1e-3, Downtime: 10, Cost: Proportional(0.1)},
+		{ID: "reactive-ligo", Title: "Ligo: λ=0.001, D=10s, c=0.1w (static vs reactive)",
+			Workflow: pwg.Ligo, Lambda: 1e-3, Downtime: 10, Cost: Proportional(0.1)},
+		{ID: "reactive-genome", Title: "Genome: λ=0.0001, D=10s, c=0.1w (static vs reactive)",
+			Workflow: pwg.Genome, Lambda: 1e-4, Downtime: 10, Cost: Proportional(0.1)},
+	}
+}
+
+// ReactiveSpecByID returns the reactive scenario with the given ID.
+func ReactiveSpecByID(id string) (ReactiveSpec, error) {
+	for _, s := range ReactiveSpecs() {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return ReactiveSpec{}, fmt.Errorf("experiments: unknown reactive scenario %q", id)
+}
+
+// ReactiveSeriesNames lists the three series of a reactive figure, in
+// plot order.
+func ReactiveSeriesNames() []string {
+	return []string{"static-analytic", "static-mc", "reactive-mc"}
+}
+
+// RunReactive executes one reactive scenario for the given trial
+// count per (policy, point) and returns its figure. Workflow
+// instances, seeds and the worker-budget split follow Run exactly;
+// like every engine in the repo, the output is bit-identical for any
+// Config.Workers value.
+func RunReactive(spec ReactiveSpec, cfg Config, trials int) (*report.Figure, error) {
+	sizes := spec.Sizes
+	if sizes == nil {
+		sizes = cfg.Sizes
+	}
+	if sizes == nil {
+		sizes = ReactiveSizes()
+	}
+	pts := make([]point, len(sizes))
+	xs := make([]float64, len(sizes))
+	for i, n := range sizes {
+		pts[i] = point{idx: i, n: n, lambda: spec.Lambda}
+		xs[i] = float64(n)
+	}
+
+	names := ReactiveSeriesNames()
+	ys := make([][]float64, len(names))
+	for i := range ys {
+		ys[i] = make([]float64, len(pts))
+	}
+	err := forEachPoint(pts, cfg.Workers, func(pt point, cellWorkers int) error {
+		cmp, tinf, err := reactivePoint(spec, cfg, pt, cellWorkers, trials)
+		if err != nil {
+			return fmt.Errorf("%s at x=%d: %w", spec.ID, pt.n, err)
+		}
+		ys[0][pt.idx] = cmp.Static.Expected / tinf
+		ys[1][pt.idx] = cmp.StaticMC.Makespan.Mean() / tinf
+		ys[2][pt.idx] = cmp.ReactiveMC.Makespan.Mean() / tinf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fig := &report.Figure{ID: spec.ID, Title: spec.Title, XLabel: "tasks", X: xs}
+	for i, name := range names {
+		if err := fig.AddSeries(name, ys[i]); err != nil {
+			return nil, err
+		}
+	}
+	return fig, nil
+}
+
+// ReactivePoint builds the rerun engine for one (scenario, size)
+// point and runs the paired static-vs-reactive comparison. It is the
+// single-point core of RunReactive, exported for cmd/wfsched's
+// -reactive mode.
+func ReactivePoint(spec ReactiveSpec, cfg Config, n, workers, trials int) (rerun.Comparison, error) {
+	cmp, _, err := reactivePoint(spec, cfg, point{n: n, lambda: spec.Lambda}, workers, trials)
+	return cmp, err
+}
+
+func reactivePoint(spec ReactiveSpec, cfg Config, pt point, workers, trials int) (rerun.Comparison, float64, error) {
+	seed := cfg.Seed ^ (uint64(pt.n) * 0x9e3779b97f4a7c15) ^ uint64(spec.Workflow+1)
+	g, err := pwg.Generate(spec.Workflow, pt.n, seed)
+	if err != nil {
+		return rerun.Comparison{}, 0, err
+	}
+	spec.Cost.Apply(g)
+	plat := failure.Platform{Lambda: pt.lambda, Downtime: spec.Downtime}
+	e := rerun.New(g, plat, rerun.Options{
+		Workers: workers,
+		Grid:    cfg.Grid,
+		RFSeed:  seed ^ 0xabcdef,
+	})
+	mcSeed := cfg.Seed ^ (uint64(pt.n) * 0x517cc1b727220a95) ^ 0x726561637469 // "reacti"
+	cmp, err := e.CompareMC(trials, mcSeed, workers)
+	if err != nil {
+		return rerun.Comparison{}, 0, err
+	}
+	return cmp, g.TotalWeight(), nil
+}
+
+// ReactiveTrialsDefault is the per-policy trial count cmd/experiments
+// uses for the reactive scenarios: enough for sub-percent standard
+// errors at the family's sizes without dominating a -quick run.
+const ReactiveTrialsDefault = 2000

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReactiveSpecsComplete(t *testing.T) {
+	specs := ReactiveSpecs()
+	if len(specs) != 4 {
+		t.Fatalf("ReactiveSpecs returned %d scenarios, want 4 (one per Pegasus family)", len(specs))
+	}
+	ids := map[string]bool{}
+	for _, s := range specs {
+		if ids[s.ID] {
+			t.Fatalf("duplicate scenario ID %s", s.ID)
+		}
+		ids[s.ID] = true
+		if s.Title == "" {
+			t.Fatalf("%s has no title", s.ID)
+		}
+		if s.Downtime <= 0 {
+			t.Fatalf("%s has no downtime; the family is about paying for failures", s.ID)
+		}
+		got, err := ReactiveSpecByID(s.ID)
+		if err != nil || got.ID != s.ID {
+			t.Fatalf("ReactiveSpecByID(%s): %v, %v", s.ID, got, err)
+		}
+	}
+	if _, err := ReactiveSpecByID("reactive-nope"); err == nil {
+		t.Fatal("ReactiveSpecByID accepted an unknown scenario")
+	}
+}
+
+// One scenario end to end at reduced size: three well-formed series,
+// the static MC series within the repo's 5% cross-validation band of
+// the analytic one, and the reactive series not meaningfully worse
+// than the static one (rescheduling may only re-optimize).
+func TestRunReactiveCrossValidates(t *testing.T) {
+	spec, err := ReactiveSpecByID("reactive-cybershake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := RunReactive(spec, fastCfg, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("reactive figure has %d series, want 3", len(fig.Series))
+	}
+	for i, name := range ReactiveSeriesNames() {
+		if fig.Series[i].Name != name {
+			t.Fatalf("series %d named %q, want %q", i, fig.Series[i].Name, name)
+		}
+	}
+	analytic, staticMC, reactiveMC := fig.Series[0].Y, fig.Series[1].Y, fig.Series[2].Y
+	for i := range analytic {
+		for s, y := range [][]float64{analytic, staticMC, reactiveMC} {
+			if y[i] < 1 || math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+				t.Fatalf("series %d point %d: ratio %v below 1 or non-finite", s, i, y[i])
+			}
+		}
+		if d := math.Abs(staticMC[i]-analytic[i]) / analytic[i]; d > 0.05 {
+			t.Fatalf("point %d: static MC %v vs analytic %v (rel diff %v)",
+				i, staticMC[i], analytic[i], d)
+		}
+		if reactiveMC[i] > 1.05*staticMC[i] {
+			t.Fatalf("point %d: reactive %v much worse than static %v",
+				i, reactiveMC[i], staticMC[i])
+		}
+	}
+}
+
+// The reactive figures inherit the repo-wide determinism contract:
+// bit-identical for any worker count.
+func TestRunReactiveDeterministicAcrossWorkerCounts(t *testing.T) {
+	spec, err := ReactiveSpecByID("reactive-montage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Sizes = []int{30, 45}
+	cfg1, cfg8 := fastCfg, fastCfg
+	cfg1.Workers, cfg8.Workers = 1, 8
+	a, err := RunReactive(spec, cfg1, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunReactive(spec, cfg8, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range a.Series {
+		for i := range a.Series[s].Y {
+			av, bv := a.Series[s].Y[i], b.Series[s].Y[i]
+			if math.Float64bits(av) != math.Float64bits(bv) {
+				t.Fatalf("series %s point %d: %v (1 worker) != %v (8 workers)",
+					a.Series[s].Name, i, av, bv)
+			}
+		}
+	}
+}

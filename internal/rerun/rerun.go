@@ -1,0 +1,443 @@
+// Package rerun is an event-driven reactive execution engine: it runs
+// a schedule against the fault simulator as a stream of task-finished
+// and failure events and, on each failure, re-runs the portfolio
+// search on the remaining subgraph before resuming execution.
+//
+// The paper's pipeline is entirely static: the portfolio picks one
+// linearization and checkpoint mask up front (minimizing the Theorem 3
+// expectation), and the simulator replays that fixed schedule against
+// injected failures, retrying each task in place. But after a failure
+// the optimization problem has *changed*: checkpointed outputs survive
+// on stable storage, completed tasks stay completed even when their
+// outputs are lost, and the work that remains is a smaller workflow
+// whose optimal order and checkpoint placement generally differ from
+// the tail of the static plan. This engine closes that loop. On each
+// failure it
+//
+//  1. snapshots the surviving state — the on-disk set the simulator
+//     reports (simulator.OnDiskMask) plus the engine's record of which
+//     tasks have ever completed;
+//  2. builds the residual workflow: the never-completed tasks, plus a
+//     recovery stub per on-disk input and a real re-execution node per
+//     completed-but-lost input some pending task still reads
+//     (see residualGraph);
+//  3. runs the full heuristic portfolio on the residual workflow
+//     (portfolio.Run — same determinism contract, any worker count);
+//  4. maps the winning residual schedule back to original task IDs
+//     and resumes execution on it.
+//
+// Rescheduling is treated as free in simulated time: the search runs
+// on the host while the simulated clock stands still during the
+// platform's downtime, which matches the paper's assumption that
+// scheduling cost is negligible against task durations.
+//
+// # Determinism contract
+//
+// For a fixed seed the full event trace and the final makespan are
+// bit-identical for any Options.Workers value and across repeated
+// runs. Failure draws are consumed serially from one rng.Source; each
+// residual search is a pure function of the (completed, on-disk) state
+// pair (portfolio determinism), so memoizing searches by that key —
+// shared across the Monte-Carlo trials of Factory, under a mutex — is
+// purely an optimization and never changes a result. The package's tests pin
+// the contract the same way internal/portfolio and internal/mc do.
+package rerun
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/mc"
+	"repro/internal/portfolio"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/simulator"
+)
+
+// Options tunes the engine. The zero value runs the paper's 14
+// heuristics on all cores with exhaustive checkpoint sweeps.
+type Options struct {
+	// Workers bounds portfolio parallelism in every search, static and
+	// residual (≤ 0: GOMAXPROCS). The result does not depend on it.
+	Workers int
+	// Grid bounds the checkpoint-count sweeps of the default heuristic
+	// set (≤ 0: exhaustive N = 1..n−1).
+	Grid int
+	// RFSeed seeds the random linearizer of the default heuristic set.
+	RFSeed uint64
+	// Heuristics overrides the searched portfolio (nil: sched.Paper14
+	// built from Grid and RFSeed). Heuristics must be safe for
+	// concurrent use, as the paper's are.
+	Heuristics []sched.Heuristic
+}
+
+// EventKind labels one engine-level event of a reactive run. These
+// sit above the simulator's timeline segments: one engine event per
+// completed task, struck failure, or rescheduling decision.
+type EventKind int
+
+// Engine event kinds.
+const (
+	// EventTaskDone: a task (and its checkpoint, if any) completed.
+	EventTaskDone EventKind = iota
+	// EventFailure: a failure struck during the attempt of a task;
+	// downtime has elapsed and memory is wiped.
+	EventFailure
+	// EventReschedule: the residual subgraph was re-searched and
+	// execution resumes on the new plan.
+	EventReschedule
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventTaskDone:
+		return "task-done"
+	case EventFailure:
+		return "failure"
+	case EventReschedule:
+		return "reschedule"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one engine-level event. Task is the completed task for
+// EventTaskDone, the task whose attempt the failure struck for
+// EventFailure, and the number of residual tasks for EventReschedule.
+type Event struct {
+	Kind EventKind
+	Time float64
+	Task int
+}
+
+// Result summarises one reactive execution.
+type Result struct {
+	// Makespan is the realized completion time.
+	Makespan float64
+	// Reschedules counts residual searches — exactly one per failure.
+	Reschedules int
+	// Sim carries the simulator's counters for the run.
+	Sim simulator.Result
+	// Events is the engine-level event stream (nil for untraced
+	// Monte-Carlo trials).
+	Events []Event
+}
+
+// plan is one memoized residual schedule, in original task IDs. Plans
+// are immutable once cached; concurrent trials share them read-only.
+type plan struct {
+	order []int  // residual linearization, original IDs
+	ckpt  []bool // full-size checkpoint mask, original IDs
+}
+
+// Engine reschedules a fixed workflow on a fixed platform. It is safe
+// for concurrent use: Monte-Carlo shards share one engine (and its
+// plan cache) while each drives its own simulator.
+type Engine struct {
+	g    *dag.Graph
+	plat failure.Platform
+	opt  Options
+	hs   []sched.Heuristic
+
+	staticOnce sync.Once
+	static     sched.Result
+
+	mu     sync.Mutex
+	cache  map[string]*plan
+	hits   int
+	misses int
+}
+
+// New builds an engine for the workflow and platform. It panics on an
+// invalid graph or platform, mirroring simulator.New.
+func New(g *dag.Graph, plat failure.Platform, opt Options) *Engine {
+	if err := g.Validate(); err != nil {
+		panic("rerun: " + err.Error())
+	}
+	if err := plat.Validate(); err != nil {
+		panic("rerun: " + err.Error())
+	}
+	hs := opt.Heuristics
+	if len(hs) == 0 {
+		hs = sched.Paper14(sched.Options{RFSeed: opt.RFSeed, Grid: opt.Grid})
+	}
+	return &Engine{g: g, plat: plat, opt: opt, hs: hs, cache: make(map[string]*plan)}
+}
+
+// Static returns the portfolio winner on the full workflow — the plan
+// a reactive run starts from, and the baseline a static run replays
+// throughout. It is computed once and cached.
+func (e *Engine) Static() sched.Result {
+	e.staticOnce.Do(func() {
+		e.static = portfolio.Best(portfolio.Run(e.hs, e.g, e.plat,
+			portfolio.Options{Workers: e.opt.Workers}))
+	})
+	return e.static
+}
+
+// Run executes one reactive trial from the static plan, drawing
+// failures from src, and returns the traced result.
+func (e *Engine) Run(src *rng.Source) Result {
+	return e.execute(simulator.New(e.plat, src), e.Static().Schedule, true)
+}
+
+// RunOn executes one traced reactive trial on a caller-configured
+// simulator (custom failure law, pre-installed recorder) starting from
+// the given schedule, which must be built on the engine's graph.
+func (e *Engine) RunOn(sim *simulator.Simulator, start *core.Schedule) Result {
+	return e.execute(sim, start, true)
+}
+
+// execute drives the simulator's resumable primitives: attempt tasks
+// in the current plan's order; on a failure, swap in the memoized (or
+// freshly searched) residual plan and restart from its head. The
+// engine tracks which tasks have ever completed — the simulator
+// deliberately does not (its retry loop never revisits a position) —
+// because completion, not persistence, decides what must still be
+// *scheduled*: a completed-but-lost output is only recomputed if some
+// pending task still reads it, exactly as the Theorem 3 evaluator
+// prices it.
+func (e *Engine) execute(sim *simulator.Simulator, start *core.Schedule, record bool) Result {
+	if start.Graph != e.g {
+		panic("rerun: schedule built on a different graph than the engine's")
+	}
+	cur := &core.Schedule{Graph: e.g, Order: start.Order, Ckpt: start.Ckpt}
+	done := make([]bool, e.g.N())
+	var events []Event
+	resched := 0
+	sim.Begin(e.g.N())
+	pos := 0
+	for pos < len(cur.Order) {
+		id := cur.Order[pos]
+		if sim.TryTask(cur, id) == nil {
+			done[id] = true
+			if record {
+				events = append(events, Event{Kind: EventTaskDone, Time: sim.Now(), Task: id})
+			}
+			pos++
+			continue
+		}
+		if record {
+			events = append(events, Event{Kind: EventFailure, Time: sim.Now(), Task: id})
+		}
+		p := e.residualPlan(sim, done)
+		resched++
+		cur = &core.Schedule{Graph: e.g, Order: p.order, Ckpt: p.ckpt}
+		pos = 0
+		if record {
+			events = append(events, Event{Kind: EventReschedule, Time: sim.Now(), Task: len(p.order)})
+		}
+	}
+	res := sim.Finish()
+	return Result{Makespan: res.Makespan, Reschedules: resched, Sim: res, Events: events}
+}
+
+// residualPlan returns the portfolio winner for the work remaining
+// after a failure, memoized by the (completed, on-disk) state pair —
+// which fully determines the residual problem. After a failure memory
+// is wiped, so the on-disk set is the surviving data and the
+// completed set is the surviving progress. The searched plan is a
+// pure function of that state, so a cache hit is bit-identical to a
+// recomputation; on a concurrent miss both trials compute the same
+// plan and the first store wins.
+func (e *Engine) residualPlan(sim *simulator.Simulator, done []bool) *plan {
+	frozen := sim.OnDiskMask(nil)
+	key := maskKey(done) + maskKey(frozen)
+	e.mu.Lock()
+	if p, ok := e.cache[key]; ok {
+		e.hits++
+		e.mu.Unlock()
+		return p
+	}
+	e.mu.Unlock()
+
+	sub, toOrig, isStub := e.residualGraph(done, frozen)
+	best := portfolio.Best(portfolio.Run(e.hs, sub, e.plat,
+		portfolio.Options{Workers: e.opt.Workers}))
+	p := &plan{ckpt: make([]bool, len(frozen))}
+	for _, sid := range best.Schedule.Order {
+		if isStub[sid] {
+			continue // recoveries happen on demand, not as scheduled work
+		}
+		p.order = append(p.order, toOrig[sid])
+		if best.Schedule.Ckpt[sid] {
+			p.ckpt[toOrig[sid]] = true
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if prior, ok := e.cache[key]; ok {
+		e.hits++
+		return prior
+	}
+	e.misses++
+	e.cache[key] = p
+	return p
+}
+
+// residualGraph builds the workflow a residual search optimizes.
+// Seeded with the never-completed tasks, it closes over predecessors:
+// an on-disk predecessor becomes a zero-input "recovery stub", and a
+// completed-but-lost predecessor whose output some pending task still
+// reads is re-included as real work (with its own predecessor closure
+// in turn). Completed tasks nothing pending reads are excluded even
+// when their outputs are lost — re-running them buys nothing, and the
+// simulator's in-place retries never re-run them either. Pricing the
+// residual this way keeps the Theorem 3 evaluator honest about what
+// execution will actually pay; an earlier on-disk-complement model
+// made the search re-execute (and re-price) completed work that
+// in-place retries skip, so rescheduling *lost* to static on
+// checkpoint-heavy plans.
+//
+// A stub carries the frozen task's recovery cost as both its weight
+// and its recovery cost, and a free checkpoint (the output already
+// sits on stable storage) — one recovery before the first reader,
+// fresh re-recoveries when later failures wipe memory. Stubs take no
+// in-edges: recovering an output needs no inputs.
+func (e *Engine) residualGraph(done, frozen []bool) (sub *dag.Graph, toOrig []int, isStub []bool) {
+	n := e.g.N()
+	need := make([]bool, n) // scheduled as real residual work
+	stub := make([]bool, n) // on disk, recovered on demand
+	var stack []int
+	for id := 0; id < n; id++ {
+		if !done[id] {
+			need[id] = true
+			stack = append(stack, id)
+		}
+	}
+	if len(stack) == 0 {
+		panic("rerun: reschedule requested with no residual tasks")
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range e.g.Preds(id) {
+			if need[p] || stub[p] {
+				continue
+			}
+			if frozen[p] {
+				stub[p] = true
+				continue
+			}
+			// Completed, output lost, and still read: run it again.
+			need[p] = true
+			stack = append(stack, p)
+		}
+	}
+	sub = dag.New()
+	newID := make([]int, n)
+	for id := 0; id < n; id++ {
+		switch {
+		case need[id]:
+			newID[id] = sub.AddTask(e.g.Task(id))
+		case stub[id]:
+			rec := e.g.RecCost(id)
+			newID[id] = sub.AddTask(dag.Task{Name: e.g.Name(id), Weight: rec, RecCost: rec})
+		default:
+			newID[id] = -1
+			continue
+		}
+		toOrig = append(toOrig, id)
+		isStub = append(isStub, stub[id])
+	}
+	for id := 0; id < n; id++ {
+		if !need[id] {
+			continue
+		}
+		for _, p := range e.g.Preds(id) {
+			if newID[p] >= 0 {
+				sub.MustAddEdge(newID[p], newID[id])
+			}
+		}
+	}
+	return sub, toOrig, isStub
+}
+
+// maskKey packs a frozen-set mask into a compact map key.
+func maskKey(mask []bool) string {
+	b := make([]byte, (len(mask)+7)/8)
+	for i, v := range mask {
+		if v {
+			b[i/8] |= 1 << (i % 8)
+		}
+	}
+	return string(b)
+}
+
+// CacheStats reports the residual-plan cache counters: searches
+// answered from the cache and searches actually run.
+func (e *Engine) CacheStats() (hits, misses int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hits, e.misses
+}
+
+// Factory returns an mc.Factory whose runners execute *reactive*
+// trials of the engine's policy, so the reactive makespan distribution
+// drops into the sharded Monte-Carlo engine unchanged — same
+// determinism contract, any worker count, with the plan cache shared
+// across shards. The factory panics if the MC job's platform differs
+// from the engine's (the memoized plans would be wrong for it).
+func (e *Engine) Factory() mc.Factory {
+	return func(plat failure.Platform, src *rng.Source) mc.Runner {
+		if plat != e.plat {
+			panic(fmt.Sprintf("rerun: MC platform %+v differs from engine platform %+v", plat, e.plat))
+		}
+		return &runner{e: e, sim: simulator.New(plat, src)}
+	}
+}
+
+type runner struct {
+	e   *Engine
+	sim *simulator.Simulator
+}
+
+// Trial implements mc.Runner: one untraced reactive execution
+// starting from the job's schedule.
+func (r *runner) Trial(s *core.Schedule) mc.Sample {
+	res := r.e.execute(r.sim, s, false)
+	return mc.Sample{
+		Makespan:  res.Makespan,
+		Failures:  res.Sim.Failures,
+		LostTime:  res.Sim.LostTime,
+		Recovered: res.Sim.Recovered,
+		Reexec:    res.Sim.Reexec,
+	}
+}
+
+// Comparison pairs the static plan's Monte-Carlo makespan
+// distribution with the reactive policy's, both started from the same
+// static schedule and the same master seed (common random numbers:
+// shard k of either run draws the identical failure stream).
+type Comparison struct {
+	// Static is the portfolio winner on the full workflow; its
+	// Expected field is the Theorem 3 analytic expectation.
+	Static sched.Result
+	// StaticMC simulates the static plan with in-place retries.
+	StaticMC mc.Result
+	// ReactiveMC simulates this engine's reschedule-on-failure policy.
+	ReactiveMC mc.Result
+	// Trials is the per-policy trial count.
+	Trials int
+}
+
+// CompareMC runs the paired static-vs-reactive Monte-Carlo experiment.
+func (e *Engine) CompareMC(trials int, seed uint64, workers int) (Comparison, error) {
+	st := e.Static()
+	cfg := mc.Config{Trials: trials, Seed: seed, Workers: workers, Factory: simulator.Factory()}
+	staticMC, err := mc.Run(st.Schedule, e.plat, cfg)
+	if err != nil {
+		return Comparison{}, err
+	}
+	cfg.Factory = e.Factory()
+	reactiveMC, err := mc.Run(st.Schedule, e.plat, cfg)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{Static: st, StaticMC: staticMC, ReactiveMC: reactiveMC, Trials: trials}, nil
+}

@@ -1,0 +1,258 @@
+package rerun
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/rng"
+	"repro/internal/simulator"
+)
+
+func testGraph(t testing.TB) *dag.Graph {
+	t.Helper()
+	g := dag.Figure1([]float64{30, 45, 25, 60, 40, 35, 20, 50}, dag.UniformCosts(0.1))
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+var testPlat = failure.Platform{Lambda: 0.01, Downtime: 5}
+
+// The tentpole determinism contract: for a fixed seed the full event
+// trace and final makespan are bit-identical for any worker count and
+// across repeated runs of the same engine (warm plan cache), in the
+// style of the portfolio invariance tests.
+func TestReactiveDeterminism(t *testing.T) {
+	g := testGraph(t)
+	seeds := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+
+	ref := New(g, testPlat, Options{Workers: 1})
+	want := make([]Result, len(seeds))
+	sawFailure := false
+	for i, seed := range seeds {
+		want[i] = ref.Run(rng.New(seed))
+		if want[i].Reschedules != want[i].Sim.Failures {
+			t.Fatalf("seed %d: %d reschedules for %d failures (must be 1:1)",
+				seed, want[i].Reschedules, want[i].Sim.Failures)
+		}
+		sawFailure = sawFailure || want[i].Sim.Failures > 0
+	}
+	if !sawFailure {
+		t.Fatal("test platform never failed; the determinism test is vacuous")
+	}
+
+	for _, workers := range []int{1, 2, 7, runtime.GOMAXPROCS(0)} {
+		e := New(g, testPlat, Options{Workers: workers})
+		for pass := 0; pass < 2; pass++ { // pass 1 re-runs with a warm cache
+			for i, seed := range seeds {
+				got := e.Run(rng.New(seed))
+				if !reactiveEqual(got, want[i]) {
+					t.Fatalf("workers=%d pass=%d seed=%d: reactive run diverged:\n got %+v\nwant %+v",
+						workers, pass, seed, got, want[i])
+				}
+			}
+		}
+	}
+}
+
+// reactiveEqual compares two traced results bit for bit.
+func reactiveEqual(a, b Result) bool {
+	return math.Float64bits(a.Makespan) == math.Float64bits(b.Makespan) &&
+		a.Reschedules == b.Reschedules &&
+		a.Sim == b.Sim &&
+		reflect.DeepEqual(a.Events, b.Events)
+}
+
+// On a failure-free platform the reactive run degenerates to the
+// static one: no failures, no reschedules, and exactly the static
+// plan's simulated makespan, with one task-done event per task.
+func TestReactiveFailureFreeEqualsStatic(t *testing.T) {
+	g := testGraph(t)
+	plat := failure.Platform{Lambda: 0, Downtime: 0}
+	e := New(g, plat, Options{Workers: 2})
+	st := e.Static()
+
+	got := e.Run(rng.New(1))
+	want := simulator.New(plat, rng.New(1)).Run(st.Schedule)
+	if got.Makespan != want.Makespan || got.Sim != want {
+		t.Fatalf("failure-free reactive %+v != static simulation %+v", got, want)
+	}
+	if got.Reschedules != 0 {
+		t.Fatalf("failure-free run rescheduled %d times", got.Reschedules)
+	}
+	if len(got.Events) != g.N() {
+		t.Fatalf("failure-free run emitted %d events, want %d task-done", len(got.Events), g.N())
+	}
+	for i, ev := range got.Events {
+		if ev.Kind != EventTaskDone || ev.Task != st.Schedule.Order[i] {
+			t.Fatalf("event %d = %+v, want task-done for task %d", i, ev, st.Schedule.Order[i])
+		}
+	}
+	if hits, misses := e.CacheStats(); hits != 0 || misses != 0 {
+		t.Fatalf("failure-free run touched the plan cache: %d hits, %d misses", hits, misses)
+	}
+}
+
+// Event streams must be well-formed: monotone timestamps, failures
+// each followed immediately by a reschedule, and the completed set at
+// the end covering every task exactly once per final completion.
+func TestReactiveEventStream(t *testing.T) {
+	g := testGraph(t)
+	e := New(g, testPlat, Options{Workers: 1})
+	for seed := uint64(1); seed <= 50; seed++ {
+		r := e.Run(rng.New(seed))
+		last := 0.0
+		failures, resched := 0, 0
+		for i, ev := range r.Events {
+			if ev.Time < last {
+				t.Fatalf("seed %d: event %d time %v before %v", seed, i, ev.Time, last)
+			}
+			last = ev.Time
+			switch ev.Kind {
+			case EventFailure:
+				failures++
+				if i+1 >= len(r.Events) || r.Events[i+1].Kind != EventReschedule {
+					t.Fatalf("seed %d: failure event %d not followed by a reschedule", seed, i)
+				}
+			case EventReschedule:
+				resched++
+				if ev.Task < 1 || ev.Task > g.N() {
+					t.Fatalf("seed %d: reschedule with %d residual tasks", seed, ev.Task)
+				}
+			}
+		}
+		if failures != r.Sim.Failures || resched != r.Reschedules {
+			t.Fatalf("seed %d: event stream counts (%d failures, %d reschedules) disagree with result (%d, %d)",
+				seed, failures, resched, r.Sim.Failures, r.Reschedules)
+		}
+		if last != r.Makespan {
+			t.Fatalf("seed %d: last event at %v, makespan %v", seed, last, r.Makespan)
+		}
+	}
+}
+
+// Repeating a run on the same engine must be answered from the plan
+// cache: no new searches, strictly more hits, identical result.
+func TestResidualPlanCacheReuse(t *testing.T) {
+	g := testGraph(t)
+	e := New(g, testPlat, Options{Workers: 1})
+	var seed uint64
+	var first Result
+	for seed = 1; ; seed++ {
+		first = e.Run(rng.New(seed))
+		if first.Reschedules > 0 {
+			break
+		}
+	}
+	hits0, misses0 := e.CacheStats()
+	if misses0 == 0 || misses0 > first.Reschedules {
+		t.Fatalf("%d reschedules produced %d searches", first.Reschedules, misses0)
+	}
+	second := e.Run(rng.New(seed))
+	hits1, misses1 := e.CacheStats()
+	if misses1 != misses0 {
+		t.Fatalf("replay ran %d fresh searches", misses1-misses0)
+	}
+	if hits1 != hits0+first.Reschedules {
+		t.Fatalf("replay hit the cache %d times, want %d", hits1-hits0, first.Reschedules)
+	}
+	if !reactiveEqual(first, second) {
+		t.Fatalf("cached replay diverged:\n got %+v\nwant %+v", second, first)
+	}
+}
+
+// The paired Monte-Carlo comparison is bit-identical for any worker
+// count — the engine's trial runner is deterministic per shard and the
+// shared plan cache never changes a value.
+func TestCompareMCWorkerInvariance(t *testing.T) {
+	g := testGraph(t)
+	const trials = 400
+	ref, err := New(g, testPlat, Options{Workers: 1}).CompareMC(trials, 99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+		got, err := New(g, testPlat, Options{Workers: workers}).CompareMC(trials, 99, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pair := range [][2]float64{
+			{got.StaticMC.Makespan.Mean(), ref.StaticMC.Makespan.Mean()},
+			{got.ReactiveMC.Makespan.Mean(), ref.ReactiveMC.Makespan.Mean()},
+			{got.Static.Expected, ref.Static.Expected},
+		} {
+			if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+				t.Fatalf("workers=%d: mean %v != reference %v", workers, pair[0], pair[1])
+			}
+		}
+		if got.StaticMC.TotalFailures != ref.StaticMC.TotalFailures ||
+			got.ReactiveMC.TotalFailures != ref.ReactiveMC.TotalFailures {
+			t.Fatalf("workers=%d: failure totals diverged", workers)
+		}
+	}
+}
+
+// Rescheduling on failures must not hurt: the reactive mean makespan
+// stays within a whisker of the static one (it usually wins — the
+// residual search can both re-place checkpoints and re-order), and
+// both stay above the failure-free bound.
+func TestReactiveMeanNotWorse(t *testing.T) {
+	g := testGraph(t)
+	cmp, err := New(g, testPlat, Options{Workers: 0}).CompareMC(4000, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticMean := cmp.StaticMC.Makespan.Mean()
+	reactiveMean := cmp.ReactiveMC.Makespan.Mean()
+	if reactiveMean > 1.05*staticMean {
+		t.Fatalf("reactive mean %v much worse than static %v", reactiveMean, staticMean)
+	}
+	ff := g.TotalWeight()
+	if staticMean < ff || reactiveMean < ff {
+		t.Fatalf("means (%v, %v) below failure-free work %v", staticMean, reactiveMean, ff)
+	}
+}
+
+// RunOn lets callers supply their own simulator (custom failure law);
+// the engine must still honor its graph-identity guard, and the
+// Factory must reject jobs on a foreign platform.
+func TestGuards(t *testing.T) {
+	g := testGraph(t)
+	e := New(g, testPlat, Options{Workers: 1})
+
+	// Custom failure law through RunOn works end to end.
+	sim := simulator.NewWithGaps(testPlat, rng.New(3), simulator.WeibullGaps(0.7, testPlat.Lambda))
+	r := e.RunOn(sim, e.Static().Schedule)
+	if r.Makespan <= 0 || math.IsInf(r.Makespan, 0) {
+		t.Fatalf("Weibull reactive run produced makespan %v", r.Makespan)
+	}
+
+	t.Run("foreign schedule", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("RunOn accepted a schedule from another graph")
+			}
+		}()
+		other := testGraph(t)
+		s, err := core.NewSchedule(other, dag.Figure1Linearization(), dag.Figure1Checkpoints())
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.RunOn(simulator.New(testPlat, rng.New(1)), s)
+	})
+
+	t.Run("foreign platform", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Factory accepted a foreign platform")
+			}
+		}()
+		e.Factory()(failure.Platform{Lambda: 0.5, Downtime: 1}, rng.New(1))
+	})
+}

@@ -1,0 +1,121 @@
+package simulator
+
+// Tests for the resumable-run primitives (Begin / TryTask / Finish,
+// Snapshot / Restore) that the reactive rescheduling engine drives:
+// composing them must reproduce Run bit for bit, and a snapshot taken
+// mid-run must resume to the exact same trajectory.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/rng"
+)
+
+func resumeTestSchedule(t *testing.T) *core.Schedule {
+	t.Helper()
+	g := dag.Figure1([]float64{30, 45, 25, 60, 40, 35, 20, 50}, dag.UniformCosts(0.1))
+	s, err := core.NewSchedule(g, dag.Figure1Linearization(), dag.Figure1Checkpoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// Run == Begin + TryTask retry loop + Finish, bitwise, for many seeds.
+func TestRunEqualsPrimitiveLoop(t *testing.T) {
+	s := resumeTestSchedule(t)
+	plat := failure.Platform{Lambda: 0.01, Downtime: 3}
+	for seed := uint64(1); seed <= 100; seed++ {
+		want := New(plat, rng.New(seed)).Run(s)
+
+		sim := New(plat, rng.New(seed))
+		sim.Begin(s.Graph.N())
+		for _, id := range s.Order {
+			for sim.TryTask(s, id) != nil {
+			}
+		}
+		got := sim.Finish()
+		if got != want {
+			t.Fatalf("seed %d: primitive loop %+v != Run %+v", seed, got, want)
+		}
+	}
+}
+
+// A snapshot taken after every completed task must restore to the
+// same final result when the remaining draws are replayed: State
+// carries the full mid-execution state (clock, pending failure draw,
+// memory, disk, counters) and nothing else is hidden in the
+// simulator.
+func TestSnapshotRestoreResumesExactly(t *testing.T) {
+	s := resumeTestSchedule(t)
+	plat := failure.Platform{Lambda: 0.02, Downtime: 2}
+	n := s.Graph.N()
+	for seed := uint64(1); seed <= 30; seed++ {
+		for cut := 1; cut < n; cut++ {
+			// Reference: one uninterrupted run.
+			want := New(plat, rng.New(seed)).Run(s)
+
+			// Run the prefix on one simulator, snapshot, and finish the
+			// suffix on a *different* simulator seeded with the first
+			// one's remaining stream (same source object, handed over).
+			src := rng.New(seed)
+			simA := New(plat, src)
+			simA.Begin(n)
+			for _, id := range s.Order[:cut] {
+				for simA.TryTask(s, id) != nil {
+				}
+			}
+			st := simA.Snapshot()
+			// Poison simA's buffers (Restore reuses its backing arrays
+			// and draws nothing from the source) to prove the snapshot
+			// is a deep copy, not an alias.
+			simA.Restore(State{InMem: make([]bool, n), OnDisk: make([]bool, n)})
+
+			simB := New(plat, src)
+			simB.Restore(st)
+			for _, id := range s.Order[cut:] {
+				for simB.TryTask(s, id) != nil {
+				}
+			}
+			if got := simB.Finish(); got != want {
+				t.Fatalf("seed %d cut %d: resumed run %+v != continuous %+v", seed, cut, got, want)
+			}
+		}
+	}
+}
+
+// The snapshot must expose the on-disk (checkpointed) set a reactive
+// scheduler freezes, and OnDiskMask must agree with it.
+func TestSnapshotExposesSurvivingState(t *testing.T) {
+	s := resumeTestSchedule(t)
+	plat := failure.Platform{Lambda: 0, Downtime: 0}
+	sim := New(plat, rng.New(1))
+	sim.Begin(s.Graph.N())
+	for _, id := range s.Order {
+		for sim.TryTask(s, id) != nil {
+		}
+	}
+	st := sim.Snapshot()
+	mask := sim.OnDiskMask(nil)
+	for id := range st.OnDisk {
+		if st.OnDisk[id] != s.Ckpt[id] {
+			t.Fatalf("task %d: on-disk %v, checkpointed %v", id, st.OnDisk[id], s.Ckpt[id])
+		}
+		if mask[id] != st.OnDisk[id] || sim.OnDisk(id) != st.OnDisk[id] {
+			t.Fatalf("task %d: OnDiskMask/OnDisk disagree with snapshot", id)
+		}
+		if !sim.InMem(id) {
+			t.Fatalf("task %d: failure-free run must leave every output in memory", id)
+		}
+	}
+	if math.IsInf(st.NextFail, 1) == (plat.Lambda != 0) {
+		t.Fatalf("failure-free run should carry an infinite pending failure, got %v", st.NextFail)
+	}
+	if st.Now != sim.Now() {
+		t.Fatalf("snapshot clock %v != simulator clock %v", st.Now, sim.Now())
+	}
+}

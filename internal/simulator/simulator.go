@@ -105,8 +105,18 @@ func ExponentialGaps(lambda float64) GapDraw {
 // WeibullGaps returns Weibull-distributed gaps with the given shape
 // and the same mean as an exponential with rate lambda (MTBF 1/λ) —
 // the standard robustness check: shape < 1 ≈ infant mortality (bursty
-// failures, typical of HPC logs), shape > 1 ≈ wear-out.
+// failures, typical of HPC logs), shape > 1 ≈ wear-out. Both
+// parameters must be positive and finite: the scale normalization
+// divides by lambda·Γ(1+1/shape), so out-of-domain inputs would
+// otherwise silently produce NaN/Inf gaps and poison every statistic
+// drawn from them. WeibullGaps panics on such inputs instead.
 func WeibullGaps(shape, lambda float64) GapDraw {
+	if !(shape > 0) || math.IsInf(shape, 0) {
+		panic(fmt.Sprintf("simulator: WeibullGaps shape %v outside (0, +Inf)", shape))
+	}
+	if !(lambda > 0) || math.IsInf(lambda, 0) {
+		panic(fmt.Sprintf("simulator: WeibullGaps lambda %v outside (0, +Inf)", lambda))
+	}
 	scale := 1 / (lambda * math.Gamma(1+1/shape))
 	return func(src *rng.Source) float64 { return src.Weibull(shape, scale) }
 }
@@ -136,6 +146,13 @@ type Simulator struct {
 // receives every timeline segment of subsequent runs: task
 // executions, recoveries, re-executions, wasted work and downtime.
 func (sim *Simulator) SetRecorder(fn func(Event)) { sim.record = fn }
+
+// Recorder returns the currently installed event callback (nil when
+// none). Callers that install a temporary recorder — trace.Collect,
+// the rerun engine — save it, tee into it, and restore it afterwards,
+// so nested collection composes instead of silently discarding the
+// outer callback.
+func (sim *Simulator) Recorder() func(Event) { return sim.record }
 
 // New returns a simulator with the paper's exponential failure model
 // at the platform's rate.
@@ -169,8 +186,26 @@ func (errFault) Error() string { return "fault" }
 
 // Run executes the schedule once and returns the realized makespan
 // and counters. The schedule must be valid (core.Schedule.Validate).
+// Run is the closed-loop composition of the resumable primitives
+// Begin / TryTask / Finish: it retries every task in place until it
+// survives. Reactive engines (internal/rerun) drive the primitives
+// directly instead, regaining control after each failure.
 func (sim *Simulator) Run(s *core.Schedule) Result {
-	n := s.Graph.N()
+	sim.Begin(s.Graph.N())
+	for _, id := range s.Order {
+		// Retry the whole "make inputs available, then execute"
+		// procedure until the task (and its checkpoint) completes
+		// without a failure destroying it.
+		for sim.TryTask(s, id) != nil {
+		}
+	}
+	return sim.Finish()
+}
+
+// Begin resets the simulator for a fresh run over an n-task workflow:
+// clock at zero, empty memory and storage, zeroed counters, and the
+// first inter-failure gap drawn from the source.
+func (sim *Simulator) Begin(n int) {
 	sim.now = 0
 	sim.res = Result{}
 	if cap(sim.inMem) < n {
@@ -188,32 +223,94 @@ func (sim *Simulator) Run(s *core.Schedule) Result {
 	} else {
 		sim.nextFail = sim.gaps(sim.src)
 	}
+}
 
-	for _, id := range s.Order {
-		// Retry the whole "make inputs available, then execute"
-		// procedure until the task (and its checkpoint) completes
-		// without a failure destroying it.
-		for {
-			if err := sim.ensureInputs(s, id); err != nil {
-				continue
-			}
-			seg := s.Graph.Weight(id)
-			if s.Ckpt[id] {
-				seg += s.Graph.CkptCost(id)
-			}
-			if err := sim.segment(seg, EventExec, id); err != nil {
-				sim.res.Reexec++
-				continue
-			}
-			sim.inMem[id] = true
-			if s.Ckpt[id] {
-				sim.onDisk[id] = true
-			}
-			break
-		}
+// TryTask makes one attempt at task id of schedule s: bring the
+// inputs into memory (recovering checkpointed predecessors, redoing
+// lost ones), execute the task, and checkpoint it if s.Ckpt says so.
+// On success it returns nil with the task's output in memory (and on
+// disk when checkpointed). If a failure strikes anywhere in the
+// attempt it returns a non-nil error after downtime has elapsed and
+// memory has been wiped; the caller decides whether to retry the same
+// task (Run's policy) or to reschedule the surviving subgraph
+// (internal/rerun's policy). Only s.Graph and s.Ckpt are consulted —
+// the execution order is the caller's, so a reactive caller may
+// switch schedules between attempts as long as every direct
+// predecessor of id is either on disk or executed earlier.
+func (sim *Simulator) TryTask(s *core.Schedule, id int) error {
+	if err := sim.ensureInputs(s, id); err != nil {
+		return err
 	}
+	seg := s.Graph.Weight(id)
+	if s.Ckpt[id] {
+		seg += s.Graph.CkptCost(id)
+	}
+	if err := sim.segment(seg, EventExec, id); err != nil {
+		sim.res.Reexec++
+		return err
+	}
+	sim.inMem[id] = true
+	if s.Ckpt[id] {
+		sim.onDisk[id] = true
+	}
+	return nil
+}
+
+// Finish stamps the realized makespan and returns the run's counters.
+func (sim *Simulator) Finish() Result {
 	sim.res.Makespan = sim.now
 	return sim.res
+}
+
+// Now returns the current simulated time.
+func (sim *Simulator) Now() float64 { return sim.now }
+
+// InMem reports whether task id's output is currently in memory.
+func (sim *Simulator) InMem(id int) bool { return sim.inMem[id] }
+
+// OnDisk reports whether task id's output is checkpointed on stable
+// storage.
+func (sim *Simulator) OnDisk(id int) bool { return sim.onDisk[id] }
+
+// OnDiskMask appends the on-disk set to buf (reset to length zero) and
+// returns it — the surviving state a reactive scheduler freezes after
+// a failure.
+func (sim *Simulator) OnDiskMask(buf []bool) []bool {
+	return append(buf[:0], sim.onDisk...)
+}
+
+// State is a resumable mid-execution snapshot of a run: the clock,
+// the pending failure draw, the in-memory and on-disk sets, and the
+// counters so far. It deliberately excludes the random source — the
+// caller owns that — so restoring a snapshot and replaying the same
+// draws reproduces the original run bit for bit.
+type State struct {
+	Now      float64
+	NextFail float64
+	InMem    []bool
+	OnDisk   []bool
+	Res      Result
+}
+
+// Snapshot returns a deep copy of the current mid-execution state.
+func (sim *Simulator) Snapshot() State {
+	return State{
+		Now:      sim.now,
+		NextFail: sim.nextFail,
+		InMem:    append([]bool(nil), sim.inMem...),
+		OnDisk:   append([]bool(nil), sim.onDisk...),
+		Res:      sim.res,
+	}
+}
+
+// Restore resumes the simulator from a snapshot (deep copy in), so a
+// run can continue from exactly where Snapshot was taken.
+func (sim *Simulator) Restore(st State) {
+	sim.now = st.Now
+	sim.nextFail = st.NextFail
+	sim.inMem = append(sim.inMem[:0], st.InMem...)
+	sim.onDisk = append(sim.onDisk[:0], st.OnDisk...)
+	sim.res = st.Res
 }
 
 // ensureInputs brings the outputs of all direct predecessors of id

@@ -91,6 +91,53 @@ func runMean(t *testing.T, sim *Simulator, s *core.Schedule, trials int) float64
 	return acc.Mean()
 }
 
+// WeibullGaps used to accept shape ≤ 0 / lambda ≤ 0 and silently
+// return NaN/Inf gaps (the scale normalization divides by
+// lambda·Γ(1+1/shape)); it must fail loudly instead.
+func TestWeibullGapsRejectsBadParameters(t *testing.T) {
+	cases := []struct {
+		name          string
+		shape, lambda float64
+	}{
+		{"zero shape", 0, 0.001},
+		{"negative shape", -1, 0.001},
+		{"NaN shape", math.NaN(), 0.001},
+		{"Inf shape", math.Inf(1), 0.001},
+		{"zero lambda", 1, 0},
+		{"negative lambda", 1, -0.001},
+		{"NaN lambda", 1, math.NaN()},
+		{"Inf lambda", 1, math.Inf(1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("WeibullGaps(%v, %v) did not panic", tc.shape, tc.lambda)
+				}
+			}()
+			WeibullGaps(tc.shape, tc.lambda)
+		})
+	}
+}
+
+// Valid parameters must keep producing finite non-negative gaps with
+// the exponential-matching mean (the shape=1 ≡ exponential contract is
+// pinned exactly by TestWeibullShapeOneMatchesAnalytic above; here we
+// additionally pin the mean at the domain edges that used to slip
+// through as NaN factories' neighbours).
+func TestWeibullGapsFiniteAtDomainEdges(t *testing.T) {
+	src := rng.New(9)
+	for _, shape := range []float64{0.05, 1, 20} {
+		draw := WeibullGaps(shape, 0.01)
+		for i := 0; i < 1000; i++ {
+			g := draw(src)
+			if math.IsNaN(g) || math.IsInf(g, 0) || g < 0 {
+				t.Fatalf("shape %v: bad gap %v", shape, g)
+			}
+		}
+	}
+}
+
 func TestNewWithGapsNilMeansFailureFree(t *testing.T) {
 	g := dag.Chain([]float64{10, 20}, dag.UniformCosts(0.1))
 	s, err := core.NewSchedule(g, []int{0, 1}, []bool{true, false})

@@ -19,10 +19,22 @@ import (
 // Collect runs the simulator once against the schedule's platform and
 // returns the recorded events plus the run result. The caller
 // provides a configured simulator (failure law, RNG).
+//
+// Collect composes with any recorder already installed on the
+// simulator: the prior callback keeps receiving every event (Collect
+// tees into it) and is restored when Collect returns, so nested
+// collections — or an engine-level recorder wrapped by an ad-hoc
+// Collect — see the same stream instead of silently losing it.
 func Collect(sim *simulator.Simulator, run func() simulator.Result) ([]simulator.Event, simulator.Result) {
 	var events []simulator.Event
-	sim.SetRecorder(func(e simulator.Event) { events = append(events, e) })
-	defer sim.SetRecorder(nil)
+	prev := sim.Recorder()
+	sim.SetRecorder(func(e simulator.Event) {
+		events = append(events, e)
+		if prev != nil {
+			prev(e)
+		}
+	})
+	defer sim.SetRecorder(prev)
 	res := run()
 	return events, res
 }

@@ -155,3 +155,56 @@ func TestRecorderDoesNotPerturbRun(t *testing.T) {
 		t.Fatalf("recorder changed the run: %+v vs %+v", got, plain)
 	}
 }
+
+// Collect must compose with a previously-installed recorder: the
+// prior callback keeps receiving every event during the collection
+// (tee) and is reinstalled afterwards. It used to be silently
+// discarded and replaced by nil.
+func TestCollectPreservesPriorRecorder(t *testing.T) {
+	g := dag.Figure1([]float64{8, 12, 6, 15, 9, 11, 7, 10}, dag.UniformCosts(0.1))
+	s, err := core.NewSchedule(g, dag.Figure1Linearization(), dag.Figure1Checkpoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simulator.New(failure.Platform{Lambda: 0.02, Downtime: 2}, rng.New(7))
+	var outer []simulator.Event
+	prior := func(e simulator.Event) { outer = append(outer, e) }
+	sim.SetRecorder(prior)
+
+	inner, res := Collect(sim, func() simulator.Result { return sim.Run(s) })
+	if len(inner) == 0 {
+		t.Fatal("Collect recorded nothing")
+	}
+	if len(outer) != len(inner) {
+		t.Fatalf("prior recorder saw %d events, Collect saw %d", len(outer), len(inner))
+	}
+	for i := range inner {
+		if outer[i] != inner[i] {
+			t.Fatalf("event %d differs between tee and collection: %+v vs %+v", i, outer[i], inner[i])
+		}
+	}
+	if err := Validate(inner, res.Makespan); err != nil {
+		t.Fatal(err)
+	}
+
+	// The prior recorder must be reinstalled (not nil): another run
+	// keeps feeding it.
+	before := len(outer)
+	sim.Run(s)
+	if len(outer) == before {
+		t.Fatal("prior recorder was not restored after Collect")
+	}
+
+	// Nested Collect: both layers and the outermost recorder all see
+	// the innermost run's events.
+	outer = outer[:0]
+	var mid []simulator.Event
+	_, _ = Collect(sim, func() simulator.Result {
+		var innerRes simulator.Result
+		mid, innerRes = Collect(sim, func() simulator.Result { return sim.Run(s) })
+		return innerRes
+	})
+	if len(mid) == 0 || len(outer) != len(mid) {
+		t.Fatalf("nested Collect lost events: outer %d, mid %d", len(outer), len(mid))
+	}
+}
