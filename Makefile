@@ -1,15 +1,18 @@
 # Local mirror of the CI gates (.github/workflows/ci.yml): run
 # `make check` before pushing to see exactly what CI will see —
-# including `make bench-gate` (the blocking benchmark-regression gate)
-# and `make staticcheck` (blocking lint). Non-gating CI mirrors:
-# `make fuzz` (the delta-evaluator differential fuzz session) and
+# including `make bench-gate` (the blocking benchmark-regression
+# gate), `make wfvet` (the blocking repo-specific analyzer suite),
+# `make shuffle` (blocking test-order-independence run) and
+# `make staticcheck` (blocking lint). Non-gating CI mirrors:
+# `make fuzz` (the delta-evaluator differential fuzz session),
+# `make govulncheck` (advisory known-vulnerability scan) and
 # `make bench-json` (records a BENCH_sweep.json perf-trajectory point;
 # CI uploads the refreshed file as an artifact).
 
 GO ?= go
 
 .PHONY: build test race bench bench-json bench-hot bench-baseline bench-gate \
-	fuzz lint fmt vet cover check serve staticcheck
+	fuzz lint fmt vet cover check serve staticcheck wfvet shuffle govulncheck
 
 # Differential fuzzing of the incremental sweep evaluator (delta vs
 # cold bit-identity plus the Algorithm-1 reference); FUZZTIME bounds
@@ -116,10 +119,33 @@ cover:
 vet:
 	$(GO) vet ./...
 
-# lint = the non-test static gates CI enforces.
+# wfvet = the repo-specific analyzer suite (cmd/wfvet): maporder,
+# nondet, floatcmp and evalshare mechanically enforce the engines'
+# determinism, tie-break and evaluator-ownership contracts. Blocking
+# in CI; a finding is fixed or carries a justified //wfvet:<analyzer>
+# waiver (see internal/analysis).
+wfvet:
+	$(GO) run ./cmd/wfvet ./...
+
+# Test-order independence: the same gate CI enforces (blocking).
+shuffle:
+	$(GO) test -shuffle=on ./...
+
+# lint = the non-test static gates CI enforces: vet + staticcheck +
+# wfvet (plus the gofmt check). staticcheck needs its binary (or
+# network to fetch it); when neither is available — the offline
+# environments `check` must still work in — it is skipped with a
+# notice, and CI's blocking staticcheck job remains the enforcement
+# point.
 lint: vet
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck binary not installed; skipped here, enforced by CI (make staticcheck fetches it when online)"; \
+	fi
+	$(GO) run ./cmd/wfvet ./...
 
 # staticcheck mirrors the blocking CI lint job. Uses an installed
 # staticcheck when present, otherwise fetches it (needs network);
@@ -132,6 +158,12 @@ staticcheck:
 	else \
 		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
 	fi
+
+# Known-vulnerability scan, mirroring the non-blocking CI job (needs
+# network to fetch govulncheck and the vulnerability database).
+GOVULNCHECK_VERSION ?= v1.1.4
+govulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 # fmt rewrites instead of checking.
 fmt:

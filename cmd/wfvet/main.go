@@ -1,0 +1,77 @@
+// Command wfvet is the repo's custom static-analysis gate: a
+// multichecker that runs the internal/analysis suite — maporder,
+// nondet, floatcmp, evalshare — over the packages matching its
+// arguments (default ./...). The analyzers mechanically enforce the
+// contracts the engine packages state in prose: bit-identical
+// determinism for any worker count, canonical float tie-breaking, and
+// single-owner evaluators leased through the portfolio pool.
+//
+// Usage:
+//
+//	wfvet [-list] [packages]
+//
+// wfvet exits nonzero when it reports findings, so `make lint` and CI
+// treat any un-waived contract violation as a build break. A finding
+// is suppressed by a justified directive comment on the flagged line
+// or the line above it, e.g.
+//
+//	//wfvet:ordered per-run scratch map, result folded through sort below
+//
+// See internal/analysis for the analyzer catalogue and the waiver
+// grammar, and README.md ("Correctness tooling") for the policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: wfvet [-list] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfvet: %v\n", err)
+		os.Exit(1)
+	}
+	diags, err := analysis.RunAnalyzers(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfvet: %v\n", err)
+		os.Exit(1)
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := d.Pos
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !filepath.IsAbs(rel) {
+				pos.Filename = rel
+			}
+		}
+		fmt.Printf("%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "wfvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -13,8 +13,9 @@
 // (internal/simulator), the sharded parallel Monte-Carlo engine
 // (internal/mc), the Section 6 experiment harness
 // (internal/experiments), the reactive rescheduling engine
-// (internal/rerun), and the HTTP scheduling service
-// (internal/serve).
+// (internal/rerun), the HTTP scheduling service (internal/serve),
+// and the wfvet static-analysis suite that mechanically enforces the
+// cross-cutting engine contracts (internal/analysis, cmd/wfvet).
 //
 // # The Monte-Carlo engine
 //
@@ -157,6 +158,34 @@
 // header). The server splits one worker budget across in-flight
 // evaluations — a pure throughput decision under the determinism
 // contract. Endpoints: POST /v1/schedule, GET /healthz, GET /stats.
+//
+// # Correctness tooling
+//
+// The contracts above — bit-identical determinism for any worker
+// count, canonical float tie-breaking, single-owner evaluators — are
+// enforced mechanically by cmd/wfvet, a custom multichecker over
+// internal/analysis that runs as a blocking CI job and inside
+// `make lint`. Four analyzers encode the contracts: maporder (no
+// order-sensitive range over maps in the deterministic packages
+// core, sched, portfolio, mc, rerun, refine, wfio, serve — iterate
+// sorted keys or keep the body commutative), nondet (no time.Now,
+// global math/rand, os.Getenv or multi-way select there; randomness
+// comes from internal/rng stream seeding), floatcmp (no ==/!=
+// between computed floats and no switch on float tags in engine
+// packages; candidate ordering goes through sched.CanonicalBetter,
+// bit-identity through math.Float64bits), and evalshare (no
+// *core.Evaluator/*core.DeltaEvaluator captured by a go literal,
+// passed to a go call or sent on a channel — workers lease their own
+// via the portfolio pool). A justified exception is annotated in
+// place with `//wfvet:<analyzer> <reason>`; the reason is mandatory,
+// and bare or misspelled directives are themselves findings. The
+// framework is a small dependency-free mirror of the
+// golang.org/x/tools/go/analysis API — the module deliberately has
+// no external dependencies so every result is reproducible from a Go
+// toolchain alone, offline; the matching API shape keeps a future
+// migration to the real x/tools multichecker mechanical. CI
+// additionally re-runs the tests with -shuffle=on (blocking) and
+// runs a non-blocking govulncheck advisory scan.
 //
 // Binaries: cmd/experiments regenerates every figure of the paper
 // (with -mc N it also re-validates each figure through the engine);

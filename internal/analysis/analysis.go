@@ -1,0 +1,300 @@
+// Package analysis is wfvet's analyzer framework: a deliberately
+// small, dependency-free mirror of the golang.org/x/tools/go/analysis
+// API surface (Analyzer, Pass, Diagnostic, a multichecker driver and
+// an analysistest-style golden harness) built on the standard
+// library's go/ast and go/types.
+//
+// Why not golang.org/x/tools itself? This module is dependency-free
+// by policy — every engine result must be reproducible from a Go
+// toolchain alone, with no module downloads — and the build
+// environments the repo targets are offline. The framework therefore
+// keeps the x/tools *shape* (an Analyzer is a named Run func over a
+// type-checked Pass; findings are positional Diagnostics; tests are
+// "// want" golden comments) so that migrating to the real
+// go/analysis multichecker is a mechanical change if the dependency
+// policy ever relaxes, while the implementation loads packages
+// through `go list -export` and the standard gc importer. See doc.go
+// at the repo root and README.md ("Correctness tooling") for the
+// analyzer catalogue and the waiver syntax.
+//
+// The four analyzers (maporder, nondet, floatcmp, evalshare) encode
+// the contracts the engine packages state in prose:
+//
+//   - determinism: bit-identical results for any worker count
+//     (maporder, nondet),
+//   - canonical float tie-breaking via sched.CanonicalBetter and
+//     math.Float64bits (floatcmp),
+//   - single-owner evaluators leased through the portfolio pool
+//     (evalshare).
+//
+// A finding can be waived in place with a justified directive
+// comment on the flagged line or the line directly above it:
+//
+//	//wfvet:ordered <reason>   — maporder
+//	//wfvet:nondet <reason>    — nondet
+//	//wfvet:floatcmp <reason>  — floatcmp
+//	//wfvet:evalshare <reason> — evalshare
+//
+// A waiver without a reason does not suppress the finding; the
+// reason is the reviewable artifact.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one wfvet check. It mirrors the fields of
+// golang.org/x/tools/go/analysis.Analyzer that this repo needs.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and waiver
+	// directives ("//wfvet:<waiver>").
+	Name string
+
+	// Doc is the one-paragraph description shown by `wfvet -list`.
+	Doc string
+
+	// Waiver is the directive suffix that suppresses a finding of
+	// this analyzer ("ordered" for maporder). Empty means the
+	// analyzer cannot be waived.
+	Waiver string
+
+	// Scope reports whether the analyzer applies to a package path.
+	// Analyzers with a nil Scope run on every package.
+	Scope func(pkgPath string) bool
+
+	// Run performs the check on one type-checked package, reporting
+	// findings through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Diagnostic is one finding: a position and a message, tagged with
+// the analyzer that produced it.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass provides one analyzer with one type-checked package, mirroring
+// golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+
+	// waivers maps file name → line → waiver directive suffixes
+	// present on that line, built lazily from the files' comments.
+	waivers map[string]map[int][]string
+}
+
+// Reportf records a finding at pos unless a justified waiver
+// directive for this analyzer covers the line (or the line above it).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.waived(position) {
+		return
+	}
+	p.report(Diagnostic{
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// waived reports whether a "//wfvet:<waiver> <reason>" comment with a
+// non-empty reason covers the given position: on the same line or on
+// the line immediately above (the usual placement, as a lead comment).
+func (p *Pass) waived(pos token.Position) bool {
+	if p.Analyzer.Waiver == "" {
+		return false
+	}
+	if p.waivers == nil {
+		p.waivers = buildWaivers(p.Fset, p.Files)
+	}
+	lines := p.waivers[pos.Filename]
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		for _, directive := range lines[l] {
+			if directive == p.Analyzer.Waiver {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// waiverPrefix introduces a waiver directive comment. The directive
+// must be attached to the comment marker without a space
+// ("//wfvet:ordered reason"), matching the Go convention for
+// machine-readable directives like //go:generate.
+const waiverPrefix = "//wfvet:"
+
+// buildWaivers scans every comment in the files for waiver directives
+// and indexes them by file and line. Directives without a reason are
+// ignored — and reported separately by CheckBareWaivers.
+func buildWaivers(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	out := make(map[string]map[int][]string)
+	forEachWaiver(fset, files, func(pos token.Position, directive, reason string) {
+		if reason == "" {
+			return
+		}
+		lines := out[pos.Filename]
+		if lines == nil {
+			lines = make(map[int][]string)
+			out[pos.Filename] = lines
+		}
+		lines[pos.Line] = append(lines[pos.Line], directive)
+	})
+	return out
+}
+
+// forEachWaiver calls fn for every "//wfvet:" directive comment in
+// the files with the directive name and the (possibly empty) reason.
+func forEachWaiver(fset *token.FileSet, files []*ast.File, fn func(pos token.Position, directive, reason string)) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, waiverPrefix)
+				if !ok {
+					continue
+				}
+				directive, reason, _ := strings.Cut(rest, " ")
+				fn(fset.Position(c.Pos()), directive, strings.TrimSpace(reason))
+			}
+		}
+	}
+}
+
+// deterministicSegments are the final import-path segments of the
+// packages bound by the repo's determinism contract (bit-identical
+// output for any worker count). maporder and nondet run only there.
+var deterministicSegments = map[string]bool{
+	"core":      true,
+	"sched":     true,
+	"portfolio": true,
+	"mc":        true,
+	"rerun":     true,
+	"refine":    true,
+	"wfio":      true,
+	"serve":     true,
+}
+
+// engineSegments additionally cover the packages whose float-valued
+// results feed ranking or reporting decisions; floatcmp runs on the
+// union of this set and deterministicSegments.
+var engineSegments = map[string]bool{
+	"simulator":   true,
+	"experiments": true,
+}
+
+func lastSegment(pkgPath string) string {
+	if i := strings.LastIndexByte(pkgPath, '/'); i >= 0 {
+		return pkgPath[i+1:]
+	}
+	return pkgPath
+}
+
+// DeterministicPkg reports whether pkgPath is bound by the
+// determinism contract. Matching is by final path segment so that
+// analysistest packages ("maporder/core") exercise the same scope
+// logic the real tree does.
+func DeterministicPkg(pkgPath string) bool {
+	return deterministicSegments[lastSegment(pkgPath)]
+}
+
+// EnginePkg reports whether pkgPath holds engine code whose float
+// comparisons are bound by the canonical tie-break discipline.
+func EnginePkg(pkgPath string) bool {
+	seg := lastSegment(pkgPath)
+	return deterministicSegments[seg] || engineSegments[seg]
+}
+
+// All returns the full wfvet suite in a fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{MapOrder, NonDet, FloatCmp, EvalShare}
+}
+
+// RunAnalyzers applies every analyzer (respecting each Scope) to the
+// loaded packages and returns the findings sorted by position. Bare
+// waivers (directives with no reason) are reported as findings too:
+// a waiver that does not say why is documentation debt, not a waiver.
+func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Scope != nil && !a.Scope(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		diags = append(diags, CheckWaivers(pkg)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		di, dj := diags[i], diags[j]
+		if di.Pos.Filename != dj.Pos.Filename {
+			return di.Pos.Filename < dj.Pos.Filename
+		}
+		if di.Pos.Line != dj.Pos.Line {
+			return di.Pos.Line < dj.Pos.Line
+		}
+		if di.Pos.Column != dj.Pos.Column {
+			return di.Pos.Column < dj.Pos.Column
+		}
+		return di.Analyzer < dj.Analyzer
+	})
+	return diags, nil
+}
+
+// knownWaivers is the set of directive suffixes the suite understands.
+var knownWaivers = map[string]bool{
+	"ordered":   true,
+	"nondet":    true,
+	"floatcmp":  true,
+	"evalshare": true,
+}
+
+// CheckWaivers reports malformed waiver directives: unknown directive
+// names (usually typos, which would otherwise silently fail to waive)
+// and known directives missing the mandatory reason.
+func CheckWaivers(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	forEachWaiver(pkg.Fset, pkg.Files, func(pos token.Position, directive, reason string) {
+		switch {
+		case !knownWaivers[directive]:
+			diags = append(diags, Diagnostic{
+				Pos:      pos,
+				Message:  fmt.Sprintf("unknown wfvet waiver directive %q", directive),
+				Analyzer: "waiver",
+			})
+		case reason == "":
+			diags = append(diags, Diagnostic{
+				Pos:      pos,
+				Message:  fmt.Sprintf("wfvet:%s waiver needs a reason", directive),
+				Analyzer: "waiver",
+			})
+		}
+	})
+	return diags
+}

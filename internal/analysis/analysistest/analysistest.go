@@ -1,0 +1,189 @@
+// Package analysistest is a golden-comment test harness for wfvet
+// analyzers, mirroring golang.org/x/tools/go/analysis/analysistest:
+// testdata packages annotate the lines where an analyzer must report
+// with `// want "regexp"` comments, and the harness fails the test on
+// any unexpected, missing, or mismatched diagnostic.
+//
+// Testdata packages live under testdata/src/<pkgpath>/ and are
+// type-checked for real — including imports of the repo's own
+// packages such as repro/internal/core — against compiled export
+// data, so analyzers see exactly the type information the production
+// driver sees. Package scope rules apply exactly as in cmd/wfvet:
+// a testdata package named "maporder/outside" exercises the
+// out-of-scope path, while "maporder/core" is treated as a
+// deterministic package.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// exportPatterns is the dependency universe available to testdata
+// packages: the whole module plus the standard-library packages the
+// golden files import.
+var exportPatterns = []string{
+	"repro/...",
+	"fmt", "math", "math/rand", "math/rand/v2", "os", "slices",
+	"sort", "strconv", "strings", "sync", "time",
+}
+
+var (
+	exportOnce sync.Once
+	exportIdx  analysis.ExportIndex
+	exportErr  error
+)
+
+func sharedIndex() (analysis.ExportIndex, error) {
+	exportOnce.Do(func() {
+		exportIdx, exportErr = analysis.LoadExportIndex("", exportPatterns...)
+	})
+	return exportIdx, exportErr
+}
+
+// Run loads each testdata package (testdata/src/<pkgpath>), applies
+// the analyzer through the same driver path cmd/wfvet uses (package
+// scope rules and waiver checking included), and compares the
+// diagnostics against the packages' `// want "regexp"` comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	idx, err := sharedIndex()
+	if err != nil {
+		t.Fatalf("loading export data: %v", err)
+	}
+	for _, pkgPath := range pkgPaths {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
+		names, err := goFilesIn(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", pkgPath, err)
+		}
+		fset := token.NewFileSet()
+		pkg, err := idx.CheckFiles(fset, pkgPath, dir, names)
+		if err != nil {
+			t.Fatalf("%s: %v", pkgPath, err)
+		}
+		diags, err := analysis.RunAnalyzers([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
+		if err != nil {
+			t.Fatalf("%s: running %s: %v", pkgPath, a.Name, err)
+		}
+		check(t, pkgPath, pkg, diags)
+	}
+}
+
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return names, nil
+}
+
+// A want is one expected-diagnostic annotation.
+type want struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// wantRe matches the comment that introduces expectations.
+var wantRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+// parseWants extracts the `// want "rx" ["rx" ...]` annotations,
+// keyed by file name and line.
+func parseWants(t *testing.T, pkg *analysis.Package) map[string]map[int][]*want {
+	t.Helper()
+	wants := make(map[string]map[int][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+					}
+					unq, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: malformed want pattern %q", pos, q)
+					}
+					rx, err := regexp.Compile(unq)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, unq, err)
+					}
+					lines := wants[pos.Filename]
+					if lines == nil {
+						lines = make(map[int][]*want)
+						wants[pos.Filename] = lines
+					}
+					lines[pos.Line] = append(lines[pos.Line], &want{rx: rx})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// check compares diagnostics against want annotations: every
+// diagnostic must match an unconsumed want on its line, and every
+// want must be consumed.
+func check(t *testing.T, pkgPath string, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants[d.Pos.Filename][d.Pos.Line] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pkgPath, d)
+		}
+	}
+	for file, lines := range wants {
+		for line, ws := range lines {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s: %s:%d: no diagnostic matching %q", pkgPath, file, line, w.rx)
+				}
+			}
+		}
+	}
+}

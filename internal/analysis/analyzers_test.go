@@ -1,0 +1,61 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// Each analyzer is exercised on one in-scope golden package (flagged,
+// allowed and waived patterns side by side) and one out-of-scope
+// package that must stay silent, so the scope rules are pinned by the
+// same tests as the detection rules.
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.MapOrder,
+		"maporder/core", "maporder/outside")
+}
+
+func TestNonDet(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.NonDet,
+		"nondet/mc", "nondet/outside")
+}
+
+func TestFloatCmp(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.FloatCmp,
+		"floatcmp/sched", "floatcmp/outside")
+}
+
+func TestEvalShare(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.EvalShare,
+		"evalshare/portfolio")
+}
+
+func TestScopes(t *testing.T) {
+	for _, path := range []string{
+		"repro/internal/core", "repro/internal/sched", "repro/internal/portfolio",
+		"repro/internal/mc", "repro/internal/rerun", "repro/internal/refine",
+		"repro/internal/wfio", "repro/internal/serve",
+	} {
+		if !analysis.DeterministicPkg(path) {
+			t.Errorf("DeterministicPkg(%q) = false, want true", path)
+		}
+		if !analysis.EnginePkg(path) {
+			t.Errorf("EnginePkg(%q) = false, want true", path)
+		}
+	}
+	for _, path := range []string{"repro/internal/report", "repro/cmd/wfserve", "main"} {
+		if analysis.DeterministicPkg(path) {
+			t.Errorf("DeterministicPkg(%q) = true, want false", path)
+		}
+	}
+	for _, path := range []string{"repro/internal/experiments", "repro/internal/simulator"} {
+		if analysis.DeterministicPkg(path) {
+			t.Errorf("DeterministicPkg(%q) = true, want false (floatcmp-only scope)", path)
+		}
+		if !analysis.EnginePkg(path) {
+			t.Errorf("EnginePkg(%q) = false, want true", path)
+		}
+	}
+}

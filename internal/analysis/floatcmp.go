@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags ==/!= between two computed floating-point values,
+// and switch statements over a floating-point tag, in the engine
+// packages. Two mathematically equal float expressions computed along
+// different code paths need not be bit-equal, so raw equality silently
+// turns a tie into an order-dependent coin flip. The repo's tie-break
+// discipline is explicit: canonical candidate comparison goes through
+// sched.CanonicalBetter, and genuine bit-identity checks go through
+// math.Float64bits.
+//
+// Comparing a computed value against a constant (x == 0, x != 1) is
+// deterministic and allowed; the hazard is computed-vs-computed.
+var FloatCmp = &Analyzer{
+	Name:   "floatcmp",
+	Waiver: "floatcmp",
+	Doc: `flag ==/!= between computed floats and switches on float tags in engine packages
+
+Equal-valued floats computed along different paths need not be
+bit-equal; raw equality turns ties into order-dependent coin flips.
+Use sched.CanonicalBetter for candidate tie-breaks and
+math.Float64bits for bit-identity. Constant comparisons (x == 0) are
+allowed. Waive a justified exception with //wfvet:floatcmp <reason>.`,
+	Scope: EnginePkg,
+	Run:   runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !isFloatExpr(pass, n.X) && !isFloatExpr(pass, n.Y) {
+					return true
+				}
+				if isConstExpr(pass, n.X) || isConstExpr(pass, n.Y) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"floating-point %s between computed values is an order-dependent tie-break; use sched.CanonicalBetter or math.Float64bits (or //wfvet:floatcmp <reason>)",
+					n.Op)
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isFloatExpr(pass, n.Tag) {
+					pass.Reportf(n.Pos(),
+						"switch on floating-point tag %s compares floats for raw equality; use explicit ordered comparisons",
+						exprString(pass.Fset, n.Tag))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloatExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// A Package is one loaded, parsed and type-checked package, ready to
+// be handed to analyzers as a Pass.
+type Package struct {
+	Path      string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader needs.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` with the given arguments in dir and decodes
+// the JSON stream it prints.
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(out)
+	var entries []listEntry
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", args, err, stderr.String())
+	}
+	for _, e := range entries {
+		if e.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", e.ImportPath, e.Error.Err)
+		}
+	}
+	return entries, nil
+}
+
+// ExportIndex maps import paths to compiled export-data files, the
+// lookup table behind the loader's gc importer. It is built with
+// `go list -deps -export`, which works offline: the go tool compiles
+// (or reuses from the build cache) export data for the module's own
+// packages and the standard library alike.
+type ExportIndex map[string]string
+
+// LoadExportIndex builds an ExportIndex for the dependency closure of
+// the given patterns, resolved from dir (empty dir = current
+// directory).
+func LoadExportIndex(dir string, patterns ...string) (ExportIndex, error) {
+	entries, err := goList(dir, append([]string{"-deps", "-export", "-json=ImportPath,Export"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	idx := make(ExportIndex, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			idx[e.ImportPath] = e.Export
+		}
+	}
+	return idx, nil
+}
+
+// importerFor returns a types.Importer that resolves every import
+// through the export index.
+func (idx ExportIndex) importerFor(fset *token.FileSet) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := idx[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (not in the loaded dependency closure)", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// newTypesInfo returns a types.Info with every map analyzers read
+// allocated.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// CheckFiles parses the named files and type-checks them as the
+// package pkgPath, resolving imports through the index. This is the
+// shared core of Load (real packages) and the analysistest harness
+// (testdata packages, which live outside the module's build graph).
+func (idx ExportIndex) CheckFiles(fset *token.FileSet, pkgPath, dir string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	conf := types.Config{
+		Importer: idx.importerFor(fset),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{
+		Path:      pkgPath,
+		Dir:       dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// Load loads, parses and type-checks the non-test Go files of every
+// package matching the patterns (as understood by `go list`, resolved
+// from dir; empty dir = current directory). Imports — including
+// imports of sibling packages under analysis — are satisfied from
+// compiled export data, so each package is analyzed independently
+// against the same types the compiler saw.
+//
+// Test files are deliberately excluded: the determinism/ownership
+// contracts wfvet enforces bind engine code, while tests legitimately
+// compare floats bit-for-bit and iterate maps for assertions.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	roots, err := goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := LoadExportIndex(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, root := range roots {
+		if len(root.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := idx.CheckFiles(fset, root.ImportPath, root.Dir, root.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

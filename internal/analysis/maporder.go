@@ -1,0 +1,303 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` statements over maps in the deterministic
+// packages. Go randomizes map iteration order, so any map range whose
+// body is not provably order-insensitive can change engine output
+// between runs — the exact bug class the determinism contract
+// ("bit-identical results for any worker count and any run") exists
+// to exclude.
+//
+// A map range is accepted without a waiver when the loop body is
+// provably order-insensitive:
+//
+//   - it only performs commutative updates (integer counters, boolean
+//     flags, delete, writes to another map keyed by the range key), or
+//   - it only collects keys/values into slices that a later statement
+//     in the same block passes to sort.* / slices.Sort* (collect-then-
+//     sort).
+//
+// Anything else needs an explicit `//wfvet:ordered <reason>` waiver.
+var MapOrder = &Analyzer{
+	Name:   "maporder",
+	Waiver: "ordered",
+	Doc: `flag order-sensitive range statements over maps in deterministic packages
+
+Map iteration order is randomized; a range over a map whose body is not
+provably order-insensitive (commutative updates, or collect-then-sort)
+breaks the bit-identical determinism contract. Waive a justified
+exception with //wfvet:ordered <reason>.`,
+	Scope: DeterministicPkg,
+	Run:   runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			for _, list := range stmtLists(n) {
+				for i, stmt := range list {
+					rs, ok := unlabel(stmt).(*ast.RangeStmt)
+					if !ok || !isMapExpr(pass, rs.X) {
+						continue
+					}
+					checkMapRange(pass, rs, list[i+1:])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// stmtLists returns the statement lists directly held by n, so a
+// range statement can be checked together with its later siblings.
+func stmtLists(n ast.Node) [][]ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return [][]ast.Stmt{n.List}
+	case *ast.CaseClause:
+		return [][]ast.Stmt{n.Body}
+	case *ast.CommClause:
+		return [][]ast.Stmt{n.Body}
+	}
+	return nil
+}
+
+func unlabel(s ast.Stmt) ast.Stmt {
+	for {
+		l, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			return s
+		}
+		s = l.Stmt
+	}
+}
+
+func isMapExpr(pass *Pass, x ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange reports rs unless its body is provably
+// order-insensitive. following are the statements after rs in the
+// same block, searched for the sort call of a collect-then-sort.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, following []ast.Stmt) {
+	collected := make(map[types.Object]bool)
+	if !orderInsensitiveStmts(pass, rs, rs.Body.List, collected) {
+		pass.Reportf(rs.Pos(),
+			"range over map %s is order-sensitive in a deterministic package; iterate sorted keys, make the body commutative, or annotate //wfvet:ordered <reason>",
+			exprString(pass.Fset, rs.X))
+		return
+	}
+	for obj := range collected {
+		if !sortedAfter(pass, following, obj) {
+			pass.Reportf(rs.Pos(),
+				"range over map %s collects into %s but no later sort.*/slices.Sort* call in this block sorts it; the slice order is randomized",
+				exprString(pass.Fset, rs.X), obj.Name())
+			return
+		}
+	}
+}
+
+// orderInsensitiveStmts reports whether every statement's effect is
+// independent of iteration order. Slices appended to are recorded in
+// collected — their final order IS iteration-order-dependent, so the
+// caller must see them sorted afterwards.
+func orderInsensitiveStmts(pass *Pass, rs *ast.RangeStmt, stmts []ast.Stmt, collected map[types.Object]bool) bool {
+	for _, s := range stmts {
+		if !orderInsensitiveStmt(pass, rs, s, collected) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(pass *Pass, rs *ast.RangeStmt, s ast.Stmt, collected map[types.Object]bool) bool {
+	switch s := unlabel(s).(type) {
+	case *ast.BlockStmt:
+		return orderInsensitiveStmts(pass, rs, s.List, collected)
+	case *ast.BranchStmt:
+		// continue/break do not reorder the commutative effects that
+		// the other rules admit; goto can.
+		return s.Tok == token.CONTINUE || s.Tok == token.BREAK
+	case *ast.IncDecStmt:
+		// n++ / n-- commute only for integers; float accumulation is
+		// rounding-order-sensitive.
+		return isIntegerExpr(pass, s.X)
+	case *ast.IfStmt:
+		if s.Init != nil && !orderInsensitiveStmt(pass, rs, s.Init, collected) {
+			return false
+		}
+		if !pureCondition(s.Cond) {
+			return false
+		}
+		if !orderInsensitiveStmts(pass, rs, s.Body.List, collected) {
+			return false
+		}
+		return s.Else == nil || orderInsensitiveStmt(pass, rs, s.Else, collected)
+	case *ast.ExprStmt:
+		// delete(m, k) commutes: each key is visited once.
+		call, ok := s.X.(*ast.CallExpr)
+		return ok && isBuiltin(pass, call.Fun, "delete")
+	case *ast.AssignStmt:
+		return orderInsensitiveAssign(pass, rs, s, collected)
+	}
+	return false
+}
+
+func orderInsensitiveAssign(pass *Pass, rs *ast.RangeStmt, s *ast.AssignStmt, collected map[types.Object]bool) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := s.Lhs[0], s.Rhs[0]
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Integer accumulation commutes (two's-complement wraparound
+		// included); float accumulation does not, bit-for-bit.
+		return isIntegerExpr(pass, lhs) && pureCondition(rhs)
+	case token.ASSIGN:
+		// ks = append(ks, ...): a collection, legal iff sorted later.
+		if id, ok := lhs.(*ast.Ident); ok {
+			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(pass, call.Fun, "append") {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					collected[obj] = true
+					return true
+				}
+				return false
+			}
+			// found = true / done = false: idempotent, commutes.
+			if rid, ok := rhs.(*ast.Ident); ok && (rid.Name == "true" || rid.Name == "false") && isBoolExpr(pass, lhs) {
+				return true
+			}
+		}
+		// m2[k] = v keyed by the range key: keys are distinct, so
+		// writes never collide and order cannot matter.
+		if ix, ok := lhs.(*ast.IndexExpr); ok && isMapExpr(pass, ix.X) {
+			if kid, ok := rs.Key.(*ast.Ident); ok && kid.Name != "_" {
+				if xid, ok := ix.Index.(*ast.Ident); ok &&
+					pass.TypesInfo.ObjectOf(xid) == pass.TypesInfo.ObjectOf(kid) {
+					return pureCondition(rhs)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// pureCondition reports whether e evaluates without calling anything
+// but len/cap — the conservative stand-in for "no side effects, no
+// order-dependent state reads".
+func pureCondition(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); !ok || (id.Name != "len" && id.Name != "cap") {
+				pure = false
+				return false
+			}
+		}
+		return pure
+	})
+	return pure
+}
+
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+func isIntegerExpr(pass *Pass, e ast.Expr) bool {
+	return basicInfo(pass, e)&types.IsInteger != 0
+}
+
+func isBoolExpr(pass *Pass, e ast.Expr) bool {
+	return basicInfo(pass, e)&types.IsBoolean != 0
+}
+
+func basicInfo(pass *Pass, e ast.Expr) types.BasicInfo {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return 0
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return 0
+	}
+	return b.Info()
+}
+
+// sortedAfter reports whether one of the statements passes obj (a
+// slice collected from a map range) to a sort.* or slices.Sort* call.
+func sortedAfter(pass *Pass, stmts []ast.Stmt, obj types.Object) bool {
+	for _, s := range stmts {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSortCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+var sortFuncNames = map[string]bool{
+	"Ints": true, "Strings": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Stable": true,
+}
+
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg := packageOf(pass, sel.X)
+	if pkg != "sort" && pkg != "slices" {
+		return false
+	}
+	name := sel.Sel.Name
+	return strings.HasPrefix(name, "Sort") || name == "Sort" || sortFuncNames[name]
+}
+
+// packageOf returns the import path of the package a selector base
+// identifier names, or "" when x is not a package reference.
+func packageOf(pass *Pass, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.TypesInfo.ObjectOf(id).(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}

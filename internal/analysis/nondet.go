@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// NonDet flags reads of ambient nondeterministic state in the
+// deterministic packages: wall-clock time, the global math/rand
+// source, process environment, and multi-way select statements (whose
+// ready-case choice is randomized by the runtime). The sanctioned
+// randomness source is internal/rng stream seeding
+// (rng.Stream/rng.StreamSeed), which makes every stream a pure
+// function of the experiment's master seed.
+var NonDet = &Analyzer{
+	Name:   "nondet",
+	Waiver: "nondet",
+	Doc: `flag ambient nondeterminism (time.Now, math/rand, os.Getenv, multi-way select) in deterministic packages
+
+Engine results must be a pure function of their inputs and the master
+seed. Randomness must come from internal/rng stream seeding; clocks,
+environment and runtime-randomized select choices void the contract.
+Waive a justified exception with //wfvet:nondet <reason>.`,
+	Scope: DeterministicPkg,
+	Run:   runNonDet,
+}
+
+// nondetFuncs maps import path → function names whose results depend
+// on ambient state, with the message fragment explaining the hazard.
+var nondetFuncs = map[string]map[string]string{
+	"time": {
+		"Now":   "reads the wall clock",
+		"Since": "reads the wall clock",
+		"Until": "reads the wall clock",
+	},
+	"os": {
+		"Getenv":    "reads the process environment",
+		"LookupEnv": "reads the process environment",
+		"Environ":   "reads the process environment",
+	},
+}
+
+func runNonDet(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				pkg := packageOf(pass, n.X)
+				if pkg == "math/rand" || pkg == "math/rand/v2" {
+					pass.Reportf(n.Pos(),
+						"%s.%s uses the global %s source; seed an internal/rng stream (rng.Stream/rng.StreamSeed) instead",
+						pkg, n.Sel.Name, pkg)
+					return true
+				}
+				if msg, ok := nondetFuncs[pkg][n.Sel.Name]; ok {
+					pass.Reportf(n.Pos(),
+						"%s.%s %s; deterministic packages must be pure functions of their inputs and the master seed",
+						pkg, n.Sel.Name, msg)
+				}
+			case *ast.SelectStmt:
+				if cases := len(n.Body.List); cases > 1 {
+					pass.Reportf(n.Pos(),
+						"select with %d cases chooses among ready channels pseudo-randomly; deterministic packages must not branch on scheduler state",
+						cases)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

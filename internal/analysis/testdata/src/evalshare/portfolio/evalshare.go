@@ -1,0 +1,63 @@
+// Golden input for the evalshare analyzer. It imports the real
+// repro/internal/core so the analyzer sees the production types; the
+// analyzer itself runs in every package, scope-free.
+package portfolio
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// CapturedByGoFunc shares one evaluator between the spawner and every
+// worker — the exact bug the portfolio pool's lease API exists to
+// prevent.
+func CapturedByGoFunc(n int) {
+	ev := core.NewEvaluator()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = ev // want `ev captured by a go func literal`
+		}()
+	}
+	wg.Wait()
+	_ = ev
+}
+
+// SentOnChannel transfers ownership through a channel instead of the
+// pool.
+func SentOnChannel(ch chan *core.DeltaEvaluator) {
+	ch <- core.NewDeltaEvaluator() // want `sent on a channel transfers evaluator ownership`
+}
+
+func use(*core.Evaluator) {}
+
+// PassedToGoroutine hands the evaluator over as a go-call argument.
+func PassedToGoroutine() {
+	ev := core.NewEvaluator()
+	go use(ev) // want `ev passed to a goroutine escapes its owner`
+}
+
+// LeasedInside is the sanctioned shape: each goroutine obtains its
+// own evaluator inside the goroutine (as the pool's forEach does), so
+// nothing evaluator-typed crosses the boundary.
+func LeasedInside(get func() *core.Evaluator, put func(*core.Evaluator)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ev := get()
+		defer put(ev)
+		use(ev)
+	}()
+	wg.Wait()
+}
+
+// Waived shows the escape hatch for a structurally safe handoff.
+func Waived() {
+	ev := core.NewEvaluator()
+	//wfvet:evalshare handoff, not sharing: the spawner never touches ev again and exits
+	go use(ev)
+}

@@ -1,0 +1,5 @@
+// Golden input for floatcmp's scope rule: "outside" is not an engine
+// package, so raw float comparisons are not reported.
+package outside
+
+func Eq(a, b float64) bool { return a == b }

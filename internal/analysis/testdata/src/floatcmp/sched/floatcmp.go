@@ -1,0 +1,48 @@
+// Golden input for the floatcmp analyzer: the package path ends in
+// "sched", so it is treated as an engine package.
+package sched
+
+import "math"
+
+func ComputedEq(a, b float64) bool {
+	return a == b // want `floating-point == between computed values`
+}
+
+func ComputedNeq(a, b float64) bool {
+	return a*2 != b+1 // want `floating-point != between computed values`
+}
+
+// ConstCompare is allowed: comparing a computed value against a
+// program constant is deterministic.
+func ConstCompare(a float64) bool {
+	return a == 0 || a != 1.5
+}
+
+// Bits is the sanctioned bit-identity idiom.
+func Bits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func FloatSwitch(x float64) int {
+	switch x { // want `switch on floating-point tag x`
+	case 1.5:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// IntSwitch is allowed: integer tags compare exactly.
+func IntSwitch(n int) int {
+	switch n {
+	case 1:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func Waived(a, b float64) bool {
+	//wfvet:floatcmp both sides are exact powers of two by construction
+	return a == b
+}

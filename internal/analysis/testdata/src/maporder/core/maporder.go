@@ -1,0 +1,84 @@
+// Golden input for the maporder analyzer: the package path ends in
+// "core", so it is treated as a deterministic package.
+package core
+
+import "sort"
+
+// OrderSensitive folds keys and values into an accumulator whose
+// result depends on visit order.
+func OrderSensitive(m map[string]int) int {
+	out := 0
+	for k, v := range m { // want `range over map m is order-sensitive`
+		out = out*31 + len(k) + v
+	}
+	return out
+}
+
+// IntAccumulation commutes: integer counters are order-insensitive.
+func IntAccumulation(m map[string]int) (int, int) {
+	total, n := 0, 0
+	for _, v := range m {
+		total += v
+		n++
+	}
+	return total, n
+}
+
+// FloatAccumulation does not commute bit-for-bit: rounding depends on
+// the order of the additions.
+func FloatAccumulation(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `range over map m is order-sensitive`
+		total += v
+	}
+	return total
+}
+
+// CollectThenSort is the sanctioned iteration idiom: collect the
+// keys, sort them, then visit in sorted order.
+func CollectThenSort(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := 0.0
+	for _, k := range keys {
+		out = out*3 + m[k]
+	}
+	return out
+}
+
+// CollectNoSort leaks the randomized iteration order into the
+// returned slice.
+func CollectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `collects into keys but no later sort`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// CommutativeBody mixes the whole commutative-update whitelist:
+// counters, boolean flags, delete, and writes keyed by the range key.
+func CommutativeBody(m map[int]bool, scratch map[int]int, inverted map[int]bool) (int, bool) {
+	n, found := 0, false
+	for k, v := range m {
+		if v {
+			n++
+			found = true
+		}
+		delete(scratch, k)
+		inverted[k] = !v
+	}
+	return n, found
+}
+
+// Waived shows the escape hatch: a justified //wfvet:ordered waiver
+// on the line above the range.
+func Waived(m map[string]int) {
+	//wfvet:ordered drains a scratch map into an unordered debug sink; no engine output depends on it
+	for k, v := range m {
+		println(k, v)
+	}
+}

@@ -1,0 +1,12 @@
+// Golden input for maporder's scope rule: "outside" is not a
+// deterministic package, so even a blatantly order-sensitive map
+// range must not be reported.
+package outside
+
+func Concat(m map[string]string) string {
+	s := ""
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,51 @@
+// Golden input for the nondet analyzer: the package path ends in
+// "mc", so it is treated as a deterministic package.
+package mc
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func WallClock() int64 {
+	t := time.Now() // want `time\.Now reads the wall clock`
+	return t.UnixNano()
+}
+
+func GlobalRand() int {
+	return rand.Int() // want `math/rand\.Int uses the global math/rand source`
+}
+
+func Environment() string {
+	return os.Getenv("SEED") // want `os\.Getenv reads the process environment`
+}
+
+// DurationArithmetic is allowed: only the ambient readings (Now,
+// Since, Until) are flagged, not the time package itself.
+func DurationArithmetic(d time.Duration) time.Duration {
+	return d * 2
+}
+
+func MultiWaySelect(a, b chan int) int {
+	select { // want `select with 2 cases chooses among ready channels pseudo-randomly`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// SingleCaseSelect is equivalent to a plain blocking receive, which
+// is deterministic; it is not flagged.
+func SingleCaseSelect(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	}
+}
+
+func Waived(t0 time.Time) time.Duration {
+	//wfvet:nondet duration only feeds the progress log line, never the result payload
+	return time.Since(t0)
+}

@@ -1,0 +1,12 @@
+// Golden input for nondet's scope rule: "outside" is not a
+// deterministic package, so ambient state reads are fine here.
+package outside
+
+import (
+	"os"
+	"time"
+)
+
+func Stamp() (int64, string) {
+	return time.Now().UnixNano(), os.Getenv("HOME")
+}

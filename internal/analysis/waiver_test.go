@@ -1,0 +1,46 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// CheckWaivers findings are attached to the waiver comment itself, so
+// they cannot carry analysistest `// want` annotations (two line
+// comments cannot share a line); they are pinned directly instead.
+func TestCheckWaivers(t *testing.T) {
+	const src = `package p
+
+func f() {
+	//wfvet:ordered
+	_ = 1
+	//wfvet:orderd typo in the directive name
+	_ = 2
+	//wfvet:floatcmp a real reason, accepted silently
+	_ = 3
+	// a plain comment mentioning wfvet:ordered is not a directive
+	_ = 4
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "waivers.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &analysis.Package{Path: "p", Fset: fset, Files: []*ast.File{file}}
+	diags := analysis.CheckWaivers(pkg)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "wfvet:ordered waiver needs a reason") {
+		t.Errorf("diag 0 = %s", diags[0])
+	}
+	if !strings.Contains(diags[1].Message, `unknown wfvet waiver directive "orderd"`) {
+		t.Errorf("diag 1 = %s", diags[1])
+	}
+}

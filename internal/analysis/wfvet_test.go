@@ -1,0 +1,86 @@
+package analysis_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestRepoCleanUnderWfvet runs the full suite over the whole module —
+// the exact gate `make lint` and CI enforce — and requires zero
+// findings. Introducing an unsorted map range (or any other contract
+// violation) anywhere in the deterministic packages fails this test,
+// and with it the build.
+func TestRepoCleanUnderWfvet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module; skipped in -short")
+	}
+	pkgs, err := analysis.Load("", "repro/...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the module pattern went wrong", len(pkgs))
+	}
+	diags, err := analysis.RunAnalyzers(analysis.All(), pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("wfvet finding on clean tree: %s", d)
+	}
+}
+
+// TestInjectedViolationIsCaught is the acceptance check in miniature:
+// a deliberately order-sensitive map range dropped into a package
+// with the internal/portfolio import path must be flagged, and a bare
+// waiver (no reason) must not suppress it — it is reported itself.
+func TestInjectedViolationIsCaught(t *testing.T) {
+	dir := t.TempDir()
+	src := `package portfolio
+
+func leak(m map[string]int) []string {
+	var order []string
+	//wfvet:ordered
+	for k := range m {
+		order = append(order, k)
+	}
+	return order
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.ExportIndex{}.CheckFiles(token.NewFileSet(),
+		"repro/internal/portfolio", dir, []string{"bad.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(analysis.All(), pkg1(pkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotMapOrder, gotBareWaiver bool
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "maporder" && strings.Contains(d.Message, "collects into order"):
+			gotMapOrder = true
+		case d.Analyzer == "waiver" && strings.Contains(d.Message, "needs a reason"):
+			gotBareWaiver = true
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if !gotMapOrder {
+		t.Error("maporder did not flag the injected unsorted map range")
+	}
+	if !gotBareWaiver {
+		t.Error("the reasonless waiver was not reported")
+	}
+}
+
+func pkg1(p *analysis.Package) []*analysis.Package { return []*analysis.Package{p} }

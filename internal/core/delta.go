@@ -479,7 +479,10 @@ func (d *DeltaEvaluator) applyFlips() float64 {
 		d.lostRowFrom(k, n, iStar, stamp, d.rowBuf, pa)
 		row := d.lost[k]
 		for i := iStar; i <= n; i++ {
-			if row[i] != d.rowBuf[i] {
+			// Bit-level change detection: the delta contract is
+			// bit-identity with a cold evaluation, and `!=` on floats
+			// would miss a +0/−0 flip and re-dirty NaNs forever.
+			if math.Float64bits(row[i]) != math.Float64bits(d.rowBuf[i]) {
 				row[i] = d.rowBuf[i]
 				if i == k {
 					d.diagChg = append(d.diagChg, k)

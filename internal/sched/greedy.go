@@ -54,7 +54,7 @@ func (c CkptGreedy) Apply(g *dag.Graph, plat failure.Platform, order []int, ev *
 	if c.Candidates > 0 && c.Candidates < n {
 		pool = rankBy(g, func(a, b int) (bool, bool) {
 			wa, wb := g.Weight(a), g.Weight(b)
-			return wa > wb, wa == wb
+			return wa > wb, math.Float64bits(wa) == math.Float64bits(wb)
 		})[:c.Candidates]
 	}
 

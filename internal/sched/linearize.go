@@ -9,6 +9,7 @@
 package sched
 
 import (
+	"math"
 	"sort"
 
 	"repro/internal/dag"
@@ -39,7 +40,9 @@ func priorities(g *dag.Graph) []float64 {
 // ties by increasing ID for determinism.
 func sortCandidates(ids []int, prio []float64) {
 	sort.SliceStable(ids, func(a, b int) bool {
-		if prio[ids[a]] != prio[ids[b]] {
+		// Bit-level tie detection keeps the comparator total even for
+		// +0/−0 or NaN priorities, so the ID tie-break always decides.
+		if math.Float64bits(prio[ids[a]]) != math.Float64bits(prio[ids[b]]) {
 			return prio[ids[a]] > prio[ids[b]]
 		}
 		return ids[a] < ids[b]

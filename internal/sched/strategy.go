@@ -128,6 +128,7 @@ func Prunable(bound, incumbent float64) bool {
 // of evaluation or merge order — the property that makes the parallel
 // portfolio engine bit-deterministic for every worker count.
 func CanonicalBetter(v1 float64, c1, i1 int, v2 float64, c2, i2 int) bool {
+	//wfvet:floatcmp CanonicalBetter IS the sanctioned tie-break comparator; this != guards its ordering branch
 	if v1 != v2 {
 		return v1 < v2
 	}
@@ -418,7 +419,7 @@ func NewCkptW(grid int) Strategy {
 	return rankedStrategy{name: "CkptW", grid: grid, rank: func(g *dag.Graph) []int {
 		return rankBy(g, func(a, b int) (bool, bool) {
 			wa, wb := g.Weight(a), g.Weight(b)
-			return wa > wb, wa == wb
+			return wa > wb, math.Float64bits(wa) == math.Float64bits(wb)
 		})
 	}}
 }
@@ -429,7 +430,7 @@ func NewCkptC(grid int) Strategy {
 	return rankedStrategy{name: "CkptC", grid: grid, rank: func(g *dag.Graph) []int {
 		return rankBy(g, func(a, b int) (bool, bool) {
 			ca, cb := g.CkptCost(a), g.CkptCost(b)
-			return ca < cb, ca == cb
+			return ca < cb, math.Float64bits(ca) == math.Float64bits(cb)
 		})
 	}}
 }
@@ -441,7 +442,7 @@ func NewCkptD(grid int) Strategy {
 	return rankedStrategy{name: "CkptD", grid: grid, rank: func(g *dag.Graph) []int {
 		return rankBy(g, func(a, b int) (bool, bool) {
 			da, db := g.OutWeight(a), g.OutWeight(b)
-			return da > db, da == db
+			return da > db, math.Float64bits(da) == math.Float64bits(db)
 		})
 	}}
 }

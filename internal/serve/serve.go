@@ -48,6 +48,7 @@ import (
 	"net/http"
 	"net/url"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -399,7 +400,15 @@ func decodeRequest(r *http.Request) (*Request, *wfio.File, error) {
 func queryOptions(q url.Values) (*Request, error) {
 	known := map[string]bool{"lambda": true, "downtime": true, "grid": true,
 		"mc": true, "seed": true, "refine": true, "heuristic": true}
+	// Sort before validating: with two or more unknown keys, ranging
+	// the map directly would make the reported offender — and thus
+	// the response bytes — depend on randomized iteration order.
+	keys := make([]string, 0, len(q))
 	for key := range q {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
 		if !known[key] {
 			return nil, badRequest("unknown query parameter %q", key)
 		}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -565,5 +566,24 @@ func TestSingleHeuristicMatchesPortfolioEntry(t *testing.T) {
 	}
 	if fromAll == nil || fromAll.Expected != ro.Results[0].Expected {
 		t.Fatalf("single-heuristic run diverged from its portfolio entry: %+v vs %+v", fromAll, ro.Results[0])
+	}
+}
+
+// Regression test for a nondeterminism bug wfvet's maporder analyzer
+// surfaced: queryOptions ranged directly over the url.Values map, so
+// with several unknown parameters the reported offender — and thus
+// the error-response bytes — depended on randomized map iteration
+// order. The fix validates keys in sorted order; the loop below would
+// flake almost surely before it.
+func TestQueryOptionsUnknownKeyDeterministic(t *testing.T) {
+	q := url.Values{"zzz": {"1"}, "mmm": {"1"}, "aaa": {"1"}, "lambda": {"0.01"}}
+	for i := 0; i < 64; i++ {
+		_, err := queryOptions(q)
+		if err == nil {
+			t.Fatal("expected an unknown-parameter error")
+		}
+		if want := `unknown query parameter "aaa"`; err.Error() != want {
+			t.Fatalf("iteration %d: error %q, want %q (first offender must be deterministic)", i, err.Error(), want)
+		}
 	}
 }
