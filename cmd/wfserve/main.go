@@ -11,6 +11,8 @@
 //	                    or wfio text with ?lambda=&grid=&mc=&... query
 //	GET  /healthz       liveness probe
 //	GET  /stats         cache hit rate, in-flight, totals
+//	GET  /metrics       Prometheus text exposition (counters, gauges,
+//	                    latency histograms)
 //
 // Example:
 //
@@ -20,7 +22,10 @@
 //	        'localhost:8080/v1/schedule?lambda=1e-3&grid=20&mc=2000'
 //
 // The server drains in-flight requests on SIGINT/SIGTERM before
-// exiting (bounded by -drain).
+// exiting (bounded by -drain). Each request emits one structured log
+// record on stderr (-log text|json|off), and -cache-dir swaps the
+// in-memory response cache for an on-disk store that survives
+// restarts.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -40,16 +46,21 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "total worker budget shared by in-flight searches (0 = all cores; responses never depend on it)")
-		cacheSz  = flag.Int("cache", 0, "result cache capacity in entries (0 = default)")
-		maxTasks = flag.Int("max-tasks", 0, "reject workflows larger than this (0 = default)")
-		maxMC    = flag.Int("max-mc", 0, "reject Monte-Carlo validations larger than this (0 = default)")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "total worker budget shared by in-flight searches (0 = all cores; responses never depend on it)")
+		cacheSz    = flag.Int("cache", 0, "result cache capacity in entries (0 = default)")
+		cacheBytes = flag.Int64("cache-bytes", 0, "result cache capacity in total body bytes (0 = default)")
+		cacheDir   = flag.String("cache-dir", "", "persist results to this directory instead of the in-memory cache (survives restarts; -cache/-cache-bytes then ignored)")
+		maxBody    = flag.Int64("max-body", 0, "reject request bodies larger than this many bytes (0 = default)")
+		maxTasks   = flag.Int("max-tasks", 0, "reject workflows larger than this (0 = default)")
+		maxMC      = flag.Int("max-mc", 0, "reject Monte-Carlo validations larger than this (0 = default)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		logFormat  = flag.String("log", "text", "per-request structured log format: text, json or off")
 	)
 	flag.Parse()
-	cfg := serve.Config{Workers: *workers, CacheSize: *cacheSz, MaxTasks: *maxTasks, MaxMCTrials: *maxMC}
-	if err := run(*addr, cfg, *drain); err != nil {
+	cfg := serve.Config{Workers: *workers, CacheSize: *cacheSz, CacheBytes: *cacheBytes,
+		MaxBodyBytes: *maxBody, MaxTasks: *maxTasks, MaxMCTrials: *maxMC}
+	if err := run(*addr, cfg, *cacheDir, *logFormat, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "wfserve:", err)
 		os.Exit(1)
 	}
@@ -57,15 +68,23 @@ func main() {
 
 // validateFlags front-loads flag validation, mirroring the other
 // binaries: bad values fail with one clear error at startup.
-func validateFlags(cfg serve.Config, drain time.Duration) error {
+func validateFlags(cfg serve.Config, logFormat string, drain time.Duration) error {
 	if cfg.Workers < 0 {
 		return fmt.Errorf("-workers must be ≥ 0 (0 = all cores), got %d", cfg.Workers)
 	}
 	if cfg.CacheSize < 0 {
 		return fmt.Errorf("-cache must be ≥ 0 (0 = default), got %d", cfg.CacheSize)
 	}
+	if cfg.CacheBytes < 0 || cfg.MaxBodyBytes < 0 {
+		return fmt.Errorf("-cache-bytes and -max-body must be ≥ 0 (0 = default)")
+	}
 	if cfg.MaxTasks < 0 || cfg.MaxMCTrials < 0 {
 		return fmt.Errorf("-max-tasks and -max-mc must be ≥ 0")
+	}
+	switch logFormat {
+	case "text", "json", "off":
+	default:
+		return fmt.Errorf("-log must be text, json or off, got %q", logFormat)
 	}
 	if drain < 0 {
 		return fmt.Errorf("-drain must be ≥ 0, got %v", drain)
@@ -73,10 +92,32 @@ func validateFlags(cfg serve.Config, drain time.Duration) error {
 	return nil
 }
 
-func run(addr string, cfg serve.Config, drain time.Duration) error {
-	if err := validateFlags(cfg, drain); err != nil {
+// requestLogger builds the per-request structured logger for the
+// validated -log format ("off" disables request logging; the
+// operational log.Printf startup/shutdown lines are unaffected).
+func requestLogger(format string) *slog.Logger {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		return nil
+	}
+}
+
+func run(addr string, cfg serve.Config, cacheDir, logFormat string, drain time.Duration) error {
+	if err := validateFlags(cfg, logFormat, drain); err != nil {
 		return err
 	}
+	if cacheDir != "" {
+		store, err := serve.NewDiskStore(cacheDir)
+		if err != nil {
+			return fmt.Errorf("-cache-dir: %w", err)
+		}
+		cfg.Store = store
+	}
+	cfg.Logger = requestLogger(logFormat)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err

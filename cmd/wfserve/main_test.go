@@ -14,22 +14,43 @@ import (
 )
 
 func TestValidateFlags(t *testing.T) {
-	if err := validateFlags(serve.Config{}, 0); err != nil {
+	if err := validateFlags(serve.Config{}, "text", 0); err != nil {
 		t.Fatalf("defaults rejected: %v", err)
 	}
 	bad := []serve.Config{
 		{Workers: -1},
 		{CacheSize: -1},
+		{CacheBytes: -1},
+		{MaxBodyBytes: -1},
 		{MaxTasks: -1},
 		{MaxMCTrials: -1},
 	}
 	for i, cfg := range bad {
-		if err := validateFlags(cfg, 0); err == nil {
+		if err := validateFlags(cfg, "text", 0); err == nil {
 			t.Errorf("case %d accepted: %+v", i, cfg)
 		}
 	}
-	if err := validateFlags(serve.Config{}, -time.Second); err == nil {
+	for _, format := range []string{"text", "json", "off"} {
+		if err := validateFlags(serve.Config{}, format, 0); err != nil {
+			t.Errorf("-log %s rejected: %v", format, err)
+		}
+	}
+	for _, format := range []string{"", "yaml", "TEXT"} {
+		if err := validateFlags(serve.Config{}, format, 0); err == nil {
+			t.Errorf("-log %q accepted", format)
+		}
+	}
+	if err := validateFlags(serve.Config{}, "text", -time.Second); err == nil {
 		t.Error("negative drain accepted")
+	}
+}
+
+func TestRequestLogger(t *testing.T) {
+	if requestLogger("off") != nil {
+		t.Error("-log off built a logger")
+	}
+	if requestLogger("text") == nil || requestLogger("json") == nil {
+		t.Error("text/json built no logger")
 	}
 }
 
@@ -87,6 +108,31 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	if r.Tasks != 3 || r.Best.Heuristic == "" || r.MC == nil {
 		t.Fatalf("response incomplete: %+v", r)
+	}
+
+	// The metrics endpoint serves Prometheus text and reflects the
+	// traffic above.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE wfserve_requests_total counter",
+		`wfserve_cache_requests_total{outcome="hit"} 1`,
+		`wfserve_cache_requests_total{outcome="miss"} 1`,
+		"wfserve_search_duration_seconds_count 1",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 
 	// Graceful shutdown: cancelling the context must terminate

@@ -157,7 +157,19 @@
 // byte-identical (cache status travels in the X-Wfserve-Cache
 // header). The server splits one worker budget across in-flight
 // evaluations — a pure throughput decision under the determinism
-// contract. Endpoints: POST /v1/schedule, GET /healthz, GET /stats.
+// contract. The cache sits behind the serve.Store interface: the
+// in-memory double-bounded LRU is the default, and serve.DiskStore
+// (-cache-dir) persists one file per hash by atomic rename so a
+// restarted server answers old requests as byte-identical hits. The
+// service is observable without touching that contract:
+// internal/metrics is a dependency-free counter/gauge/histogram
+// library with Prometheus text exposition, wired through the serve
+// layer as read-only observers (per-endpoint request counts and
+// latency, dedup outcomes, engine timings, store occupancy, load
+// gauges), and every request emits one structured log/slog record
+// (endpoint, status, latency, cache outcome, canonical hash).
+// Endpoints: POST /v1/schedule, GET /healthz, GET /stats,
+// GET /metrics.
 //
 // # Correctness tooling
 //
@@ -167,7 +179,8 @@
 // internal/analysis that runs as a blocking CI job and inside
 // `make lint`. Four analyzers encode the contracts: maporder (no
 // order-sensitive range over maps in the deterministic packages
-// core, sched, portfolio, mc, rerun, refine, wfio, serve — iterate
+// core, sched, portfolio, mc, rerun, refine, wfio, serve, metrics —
+// iterate
 // sorted keys or keep the body commutative), nondet (no time.Now,
 // global math/rand, os.Getenv or multi-way select there; randomness
 // comes from internal/rng stream seeding), floatcmp (no ==/!=

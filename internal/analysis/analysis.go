@@ -189,6 +189,7 @@ var deterministicSegments = map[string]bool{
 	"refine":    true,
 	"wfio":      true,
 	"serve":     true,
+	"metrics":   true,
 }
 
 // engineSegments additionally cover the packages whose float-valued

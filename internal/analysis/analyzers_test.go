@@ -36,7 +36,7 @@ func TestScopes(t *testing.T) {
 	for _, path := range []string{
 		"repro/internal/core", "repro/internal/sched", "repro/internal/portfolio",
 		"repro/internal/mc", "repro/internal/rerun", "repro/internal/refine",
-		"repro/internal/wfio", "repro/internal/serve",
+		"repro/internal/wfio", "repro/internal/serve", "repro/internal/metrics",
 	} {
 		if !analysis.DeterministicPkg(path) {
 			t.Errorf("DeterministicPkg(%q) = false, want true", path)

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefBuckets is the default latency bucket layout (seconds): fixed
+// upper bounds from half a millisecond to a minute, tuned for the
+// scheduling service's request spectrum — cache hits answer in
+// microseconds, cold portfolio searches in seconds.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram counts observations into fixed buckets. The bucket layout
+// is immutable after construction; observation is a single atomic add
+// per bucket plus a CAS loop for the running sum, so concurrent
+// observers never block each other.
+type Histogram struct {
+	upper  []float64      // finite upper bounds, strictly increasing
+	counts []atomic.Int64 // len(upper)+1; last is the +Inf overflow
+	total  atomic.Int64
+	sum    atomic.Uint64 // float64 bits of the running sum
+}
+
+// checkBuckets validates a bucket layout (nil: DefBuckets), panicking
+// on a non-finite or non-increasing bound — registration-time
+// programmer error, like an invalid metric name.
+func checkBuckets(name string, buckets []float64) []float64 {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	if len(buckets) == 0 {
+		panic("metrics: histogram " + name + " needs at least one bucket")
+	}
+	prev := math.Inf(-1)
+	for _, b := range buckets {
+		if math.IsNaN(b) || math.IsInf(b, 0) || b <= prev {
+			panic("metrics: histogram " + name + " buckets must be finite and strictly increasing")
+		}
+		prev = b
+	}
+	return append([]float64(nil), buckets...)
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	return &Histogram{upper: buckets, counts: make([]atomic.Int64, len(buckets)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound covers v — the Prometheus
+	// cumulative "le" semantics.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// bucketCount returns the non-cumulative count of bucket i.
+func (h *Histogram) bucketCount(i int) int64 { return h.counts[i].Load() }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket
+// counts by linear interpolation inside the covering bucket — the
+// same estimate a Prometheus histogram_quantile() would produce.
+// Samples beyond the last finite bound are reported as that bound
+// (the estimate cannot exceed the instrumented range). Returns NaN
+// when nothing has been observed or q is out of range.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 || math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	cum, lower := 0.0, 0.0
+	for i, ub := range h.upper {
+		c := float64(h.counts[i].Load())
+		if c > 0 && cum+c >= rank {
+			return lower + (ub-lower)*((rank-cum)/c)
+		}
+		cum += c
+		lower = ub
+	}
+	return lower
+}

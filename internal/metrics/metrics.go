@@ -1,0 +1,410 @@
+// Package metrics is the repo's dependency-free observability
+// substrate: counters, gauges and fixed-bucket histograms behind a
+// Registry that renders the Prometheus text exposition format
+// (version 0.0.4). It exists so that wfserve can expose a standard
+// GET /metrics endpoint without pulling an external client library —
+// the module deliberately builds offline from a Go toolchain alone.
+//
+// The package is bound by the same determinism discipline as the
+// engines it observes (it is part of the wfvet deterministic set):
+// exposition output is a pure function of the recorded samples —
+// families are rendered in sorted name order and series in sorted
+// label order, never in map-iteration order — and nothing in here
+// reads clocks, environment or ambient randomness. Callers observe
+// durations; the package only aggregates them.
+//
+// All metric types are safe for concurrent use: counters and gauges
+// are single atomics, histograms are per-bucket atomics. Registration
+// (Registry.Counter, …) panics on an invalid or duplicate name —
+// metric registration is programmer error territory, caught at
+// startup by any test that constructs the instrumented component.
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// kind is the Prometheus metric type of a family.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// Registry holds metric families and renders them. The zero value is
+// not usable; create with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]bool)}
+}
+
+// family is one named metric family: a single series, a func-backed
+// series, or a labelled vec of series.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	labels  []string  // label names; empty for unlabelled families
+	buckets []float64 // histogram families only
+
+	mu     sync.Mutex
+	series map[string]*series // label-value key → series
+}
+
+// series is one sample stream inside a family.
+type series struct {
+	values []string // label values, parallel to family.labels
+	metric any      // *Counter, *Gauge, *Histogram or func() float64
+}
+
+// register adds a family or panics on an invalid or duplicate name.
+func (r *Registry) register(name, help string, k kind, labels []string, buckets []float64) *family {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabelName(l) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[name] {
+		panic(fmt.Sprintf("metrics: duplicate metric name %q", name))
+	}
+	r.byName[name] = true
+	f := &family{name: name, help: help, kind: k, labels: labels,
+		buckets: buckets, series: make(map[string]*series)}
+	r.families = append(r.families, f)
+	return f
+}
+
+// Counter registers and returns a new unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter, nil, nil)
+	c := &Counter{}
+	f.series[""] = &series{metric: c}
+	return c
+}
+
+// Gauge registers and returns a new unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge, nil, nil)
+	g := &Gauge{}
+	f.series[""] = &series{metric: g}
+	return g
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time — for monotone totals already maintained elsewhere
+// (e.g. a store's eviction count).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindCounter, nil, nil)
+	f.series[""] = &series{metric: fn}
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at
+// exposition time — for instantaneous values already maintained
+// elsewhere (e.g. a store's resident bytes).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindGauge, nil, nil)
+	f.series[""] = &series{metric: fn}
+}
+
+// CounterVec registers a family of counters partitioned by the given
+// label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("metrics: CounterVec %q needs at least one label", name))
+	}
+	return &CounterVec{f: r.register(name, help, kindCounter, labels, nil)}
+}
+
+// Histogram registers and returns a new unlabelled histogram with the
+// given strictly increasing finite bucket upper bounds (nil:
+// DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	b := checkBuckets(name, buckets)
+	f := r.register(name, help, kindHistogram, nil, b)
+	h := newHistogram(b)
+	f.series[""] = &series{metric: h}
+	return h
+}
+
+// HistogramVec registers a family of histograms partitioned by the
+// given label names, all sharing one bucket layout (nil: DefBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("metrics: HistogramVec %q needs at least one label", name))
+	}
+	b := checkBuckets(name, buckets)
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, b)}
+}
+
+// CounterVec is a labelled counter family.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (created on
+// first use). len(values) must equal the registered label count.
+func (v *CounterVec) With(values ...string) *Counter {
+	s := v.f.lookup(values, func() any { return &Counter{} })
+	return s.metric.(*Counter)
+}
+
+// HistogramVec is a labelled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values (created on
+// first use). len(values) must equal the registered label count.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	f := v.f
+	s := f.lookup(values, func() any { return newHistogram(f.buckets) })
+	return s.metric.(*Histogram)
+}
+
+// lookup returns the series for the given label values, creating it
+// with mk on first use.
+func (f *family) lookup(values []string, mk func() any) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{values: append([]string(nil), values...), metric: mk()}
+	f.series[key] = s
+	return s
+}
+
+// Counter is a monotonically increasing integer sample stream.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; n must be ≥ 0 (counters are monotone).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("metrics: counter decremented")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous float value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the value by d (atomic read-modify-write).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format: families in sorted name order, series in
+// sorted label order, so the rendering is a pure function of the
+// recorded samples.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.write(bw)
+	}
+	return bw.Flush()
+}
+
+// Handler serves the exposition over HTTP (GET /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+func (f *family) write(bw *bufio.Writer) {
+	fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+	fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for key := range f.series {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	ordered := make([]*series, 0, len(keys))
+	for _, key := range keys {
+		ordered = append(ordered, f.series[key])
+	}
+	f.mu.Unlock()
+	for _, s := range ordered {
+		f.writeSeries(bw, s)
+	}
+}
+
+func (f *family) writeSeries(bw *bufio.Writer, s *series) {
+	base := labelString(f.labels, s.values, "", "")
+	switch m := s.metric.(type) {
+	case *Counter:
+		fmt.Fprintf(bw, "%s%s %d\n", f.name, base, m.Value())
+	case *Gauge:
+		fmt.Fprintf(bw, "%s%s %s\n", f.name, base, formatValue(m.Value()))
+	case func() float64:
+		fmt.Fprintf(bw, "%s%s %s\n", f.name, base, formatValue(m()))
+	case *Histogram:
+		cum := int64(0)
+		for i, ub := range f.buckets {
+			cum += m.bucketCount(i)
+			le := labelString(f.labels, s.values, "le", formatValue(ub))
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, le, cum)
+		}
+		count := m.Count()
+		inf := labelString(f.labels, s.values, "le", "+Inf")
+		fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, inf, count)
+		fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, base, formatValue(m.Sum()))
+		fmt.Fprintf(bw, "%s_count%s %d\n", f.name, base, count)
+	}
+}
+
+// labelString renders {k="v",…} from the family labels plus an
+// optional extra pair (the histogram "le" bound); "" when empty.
+func labelString(labels, values []string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatValue renders a sample value; infinities use the exposition
+// spelling (+Inf / -Inf).
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "le" { // le is reserved for histogram bounds
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// diskSuffix names the response files so that a DiskStore directory
+// can be shared with unrelated files (and so stray temp files are
+// never mistaken for entries).
+const diskSuffix = ".resp"
+
+// DiskStore is the trivial persistent Store: one file per canonical
+// hash under a directory. It proves the Store seam and gives the
+// service restart-surviving caching — a new process pointed at the
+// same directory serves previous results as cache hits, which the
+// byte-determinism contract makes safe: a stored body is exactly what
+// a fresh search would produce.
+//
+// Writes go through a temp file plus atomic rename, so a concurrent
+// Get never observes a torn body. The store does not evict (Cap 0 =
+// unbounded) — bounding and replication belong to the distributed
+// roadmap item; this implementation is deliberately the smallest
+// thing that exercises the interface.
+type DiskStore struct {
+	dir string
+
+	mu      sync.Mutex
+	entries int
+	bytes   int64
+}
+
+// NewDiskStore opens (creating if needed) a response store under dir
+// and counts the entries already present.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("disk store: %w", err)
+	}
+	d := &DiskStore{dir: dir}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("disk store: %w", err)
+	}
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), diskSuffix) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		d.entries++
+		d.bytes += info.Size()
+	}
+	return d, nil
+}
+
+// safeKey reports whether key can be used as a file name directly.
+// Canonical hashes are lowercase hex, so this only guards against a
+// future caller feeding attacker-controlled keys into the store.
+func safeKey(key string) bool {
+	if key == "" {
+		return false
+	}
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (d *DiskStore) path(key string) string {
+	return filepath.Join(d.dir, key+diskSuffix)
+}
+
+// Get returns the body stored under key. Reads take no lock: Put
+// publishes bodies by atomic rename, so a read sees either the whole
+// body or nothing.
+func (d *DiskStore) Get(key string) ([]byte, bool) {
+	if !safeKey(key) {
+		return nil, false
+	}
+	body, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil, false
+	}
+	return body, true
+}
+
+// Put stores body under key (temp file + rename). Failures are
+// swallowed: a Store may decline to store, costing only a future
+// re-search.
+func (d *DiskStore) Put(key string, body []byte) {
+	if !safeKey(key) {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	prev, statErr := os.Stat(d.path(key))
+	tmp, err := os.CreateTemp(d.dir, ".put-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(body)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if statErr == nil {
+		d.bytes += int64(len(body)) - prev.Size()
+	} else {
+		d.entries++
+		d.bytes += int64(len(body))
+	}
+}
+
+// Stats returns the entry and byte counts (Cap 0: unbounded, no
+// evictions).
+func (d *DiskStore) Stats() StoreStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return StoreStats{Len: d.entries, Bytes: d.bytes}
+}

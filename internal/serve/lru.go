@@ -5,14 +5,13 @@ import (
 	"sync"
 )
 
-// cache is the bounded, concurrent-safe LRU behind the service's
-// result deduplication: canonical workflow hash → encoded response
-// body. Bodies are stored and returned verbatim (never mutated), so a
-// cache hit is bit-identical to the cold evaluation that produced it.
-// Bounded twice: by entry count and by total body bytes, so a few
-// huge-workflow responses cannot pin unbounded memory for the life of
-// the process.
-type cache struct {
+// LRU is the in-memory Store: a bounded, concurrent-safe LRU of
+// encoded response bodies. Bodies are stored and returned verbatim
+// (never mutated), so a cache hit is bit-identical to the cold
+// evaluation that produced it. Bounded twice: by entry count and by
+// total body bytes, so a few huge-workflow responses cannot pin
+// unbounded memory for the life of the process.
+type LRU struct {
 	mu        sync.Mutex
 	capacity  int
 	maxBytes  int64
@@ -22,23 +21,26 @@ type cache struct {
 	evictions int64
 }
 
-type cacheEntry struct {
+type lruEntry struct {
 	key  string
 	body []byte
 }
 
-func newCache(capacity int, maxBytes int64) *cache {
+// NewLRU returns an LRU bounded by capacity entries (≤ 0:
+// DefaultCacheSize) and maxBytes total body bytes (≤ 0:
+// DefaultCacheBytes).
+func NewLRU(capacity int, maxBytes int64) *LRU {
 	if capacity <= 0 {
 		capacity = DefaultCacheSize
 	}
 	if maxBytes <= 0 {
 		maxBytes = DefaultCacheBytes
 	}
-	return &cache{capacity: capacity, maxBytes: maxBytes, ll: list.New(), items: make(map[string]*list.Element)}
+	return &LRU{capacity: capacity, maxBytes: maxBytes, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-// get returns the body cached under key, refreshing its recency.
-func (c *cache) get(key string) ([]byte, bool) {
+// Get returns the body cached under key, refreshing its recency.
+func (c *LRU) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -46,14 +48,14 @@ func (c *cache) get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).body, true
+	return el.Value.(*lruEntry).body, true
 }
 
-// put stores body under key, evicting least recently used entries
+// Put stores body under key, evicting least recently used entries
 // while the cache exceeds either bound. Re-putting an existing key
 // refreshes it. A body larger than the whole byte budget is not
 // cached at all (the response is still served, just never stored).
-func (c *cache) put(key string, body []byte) {
+func (c *LRU) Put(key string, body []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if int64(len(body)) > c.maxBytes {
@@ -61,16 +63,16 @@ func (c *cache) put(key string, body []byte) {
 	}
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		e := el.Value.(*cacheEntry)
+		e := el.Value.(*lruEntry)
 		c.bytes += int64(len(body)) - int64(len(e.body))
 		e.body = body
 	} else {
-		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, body: body})
 		c.bytes += int64(len(body))
 	}
 	for c.ll.Len() > c.capacity || c.bytes > c.maxBytes {
 		last := c.ll.Back()
-		e := last.Value.(*cacheEntry)
+		e := last.Value.(*lruEntry)
 		c.ll.Remove(last)
 		delete(c.items, e.key)
 		c.bytes -= int64(len(e.body))
@@ -78,10 +80,10 @@ func (c *cache) put(key string, body []byte) {
 	}
 }
 
-// stats returns the current length, capacity, resident bytes and
+// Stats returns the current length, capacity, resident bytes and
 // eviction count.
-func (c *cache) stats() (length, capacity int, bytes, evictions int64) {
+func (c *LRU) Stats() StoreStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.ll.Len(), c.capacity, c.bytes, c.evictions
+	return StoreStats{Len: c.ll.Len(), Cap: c.capacity, Bytes: c.bytes, Evictions: c.evictions}
 }

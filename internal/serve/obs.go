@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"log/slog"
+	"math"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// now is the service's single wall-clock read, used only for latency
+// observation and request-log records. Timestamps and latencies are
+// observability outputs: they never reach response bytes, canonical
+// hashes or the store, so the determinism contract is untouched.
+//
+//wfvet:nondet observability-only clock; latencies and log timestamps never reach response bytes, hashes or the store
+func now() time.Time { return time.Now() }
+
+// observability is the server's metrics surface: every series is a
+// read-only observer of the request flow — instrumentation can count
+// and time, but nothing downstream of it feeds back into response
+// bytes, so the byte-determinism contract holds with metrics on.
+type observability struct {
+	registry *metrics.Registry
+
+	// Per-endpoint request counts and latency.
+	requests *metrics.CounterVec   // wfserve_requests_total{endpoint,code}
+	latency  *metrics.HistogramVec // wfserve_request_duration_seconds{endpoint}
+
+	// Deduplication outcomes (hit/miss/collapsed) and errors.
+	cacheOutcomes *metrics.CounterVec // wfserve_cache_requests_total{outcome}
+	errorsTotal   *metrics.Counter    // wfserve_errors_total
+
+	// Load: requests currently inside a handler, and the worker share
+	// handed to the most recent evaluation.
+	inFlight    *metrics.Gauge // wfserve_in_flight_requests
+	workerShare *metrics.Gauge // wfserve_worker_share
+
+	// Engine timings.
+	searchDuration *metrics.Histogram // wfserve_search_duration_seconds
+	mcDuration     *metrics.Histogram // wfserve_mc_duration_seconds
+
+	logger *slog.Logger
+}
+
+// newObservability registers the server's metric families; store and
+// budget series read live server state at scrape time.
+func newObservability(s *Server, logger *slog.Logger) *observability {
+	r := metrics.NewRegistry()
+	o := &observability{
+		registry: r,
+		requests: r.CounterVec("wfserve_requests_total",
+			"HTTP requests served, by endpoint and status code.", "endpoint", "code"),
+		latency: r.HistogramVec("wfserve_request_duration_seconds",
+			"HTTP request latency in seconds, by endpoint.", nil, "endpoint"),
+		cacheOutcomes: r.CounterVec("wfserve_cache_requests_total",
+			"Scheduling requests by deduplication outcome (hit, collapsed, miss).", "outcome"),
+		errorsTotal: r.Counter("wfserve_errors_total",
+			"Requests that failed with an error response."),
+		inFlight: r.Gauge("wfserve_in_flight_requests",
+			"Requests currently being handled."),
+		workerShare: r.Gauge("wfserve_worker_share",
+			"Workers handed to the most recently started evaluation."),
+		searchDuration: r.Histogram("wfserve_search_duration_seconds",
+			"Portfolio search duration in seconds.", nil),
+		mcDuration: r.Histogram("wfserve_mc_duration_seconds",
+			"Monte-Carlo validation duration in seconds.", nil),
+		logger: logger,
+	}
+	r.GaugeFunc("wfserve_worker_budget",
+		"Total worker budget shared by in-flight evaluations.",
+		func() float64 { return float64(s.cfg.Workers) })
+	r.GaugeFunc("wfserve_evaluations_in_flight",
+		"Evaluations currently executing on the engines.",
+		func() float64 { return float64(atomic.LoadInt64(&s.running)) })
+	r.GaugeFunc("wfserve_store_entries",
+		"Entries resident in the response store.",
+		func() float64 { return float64(s.store.Stats().Len) })
+	r.GaugeFunc("wfserve_store_bytes",
+		"Body bytes resident in the response store.",
+		func() float64 { return float64(s.store.Stats().Bytes) })
+	r.CounterFunc("wfserve_store_evictions_total",
+		"Entries evicted from the response store to stay within bounds.",
+		func() float64 { return float64(s.store.Stats().Evictions) })
+	return o
+}
+
+// responseRecorder captures the status code and size the handler
+// writes, plus the scheduling annotations (canonical hash, cache
+// status) the access log reports.
+type responseRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+
+	hash  string
+	cache string
+}
+
+func (r *responseRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *responseRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// annotate attaches the scheduling request's canonical hash and cache
+// status to the in-flight request record, so the access log can
+// report them. A no-op when the handler runs without the
+// instrumentation middleware (direct unit tests).
+func annotate(w http.ResponseWriter, hash, cache string) {
+	if rec, ok := w.(*responseRecorder); ok {
+		rec.hash, rec.cache = hash, cache
+	}
+}
+
+// instrument wraps an endpoint handler with the observability layer:
+// in-flight gauge, per-endpoint request counter and latency
+// histogram, and one structured log record per request.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := now()
+		rec := &responseRecorder{ResponseWriter: w, status: http.StatusOK}
+		s.obs.inFlight.Inc()
+		h(rec, r)
+		s.obs.inFlight.Dec()
+		elapsed := now().Sub(start).Seconds()
+
+		s.obs.requests.With(endpoint, strconv.Itoa(rec.status)).Inc()
+		s.obs.latency.With(endpoint).Observe(elapsed)
+		if s.obs.logger != nil {
+			attrs := []slog.Attr{
+				slog.String("endpoint", endpoint),
+				slog.String("method", r.Method),
+				slog.Int("status", rec.status),
+				slog.Int64("bytes", rec.bytes),
+				slog.Float64("dur_ms", elapsed*1000),
+			}
+			if rec.cache != "" {
+				attrs = append(attrs, slog.String("cache", rec.cache))
+			}
+			if rec.hash != "" {
+				attrs = append(attrs, slog.String("hash", rec.hash))
+			}
+			s.obs.logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+		}
+	})
+}
+
+// getOnly guards a read-only endpoint: anything but GET is refused
+// with 405 and an Allow header.
+func (s *Server) getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			s.fail(w, &httpError{status: http.StatusMethodNotAllowed, msg: "GET required"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.obs.registry.WritePrometheus(w)
+}
+
+// latencyQuantileMS estimates a quantile of /v1/schedule request
+// latency in milliseconds for /stats (0 until the first request).
+func (s *Server) latencyQuantileMS(q float64) float64 {
+	v := s.obs.latency.With("/v1/schedule").Quantile(q)
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v * 1000
+}

@@ -1,0 +1,426 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// scrapeMetrics fetches /metrics and parses every sample line into
+// name{labels} → value.
+func scrapeMetrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	samples := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		samples[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+// TestMetricsScrape drives the service through miss, hit, collapse
+// and error paths and asserts the /metrics series move with each —
+// the acceptance scrape for the observability layer. Run under -race
+// by CI's full-suite race job.
+func TestMetricsScrape(t *testing.T) {
+	srv := New(Config{Workers: 2})
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	srv.onSearch = func(h string) {
+		started <- h
+		<-release
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// Unblock the held-open search even when an assertion below
+	// Fatals, so the deferred ts.Close cannot deadlock on the
+	// in-flight handlers. Runs before ts.Close (defers are LIFO).
+	var releaseOnce sync.Once
+	unblock := func() { releaseOnce.Do(func() { close(release) }) }
+	defer unblock()
+	body := testWorkflow(t, 12, 21, nil)
+
+	// Baseline scrape: families render before any traffic, store and
+	// budget gauges read live state.
+	base := scrapeMetrics(t, ts.URL)
+	if got := base["wfserve_worker_budget"]; got != 2 {
+		t.Fatalf("worker budget gauge = %v", got)
+	}
+	if got := base["wfserve_store_entries"]; got != 0 {
+		t.Fatalf("store entries gauge = %v", got)
+	}
+
+	// Miss + two collapsed waiters, all held open on the search so a
+	// mid-flight scrape can observe the in-flight evaluation.
+	const clients = 3
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			post(t, ts.URL, "application/json", body)
+		}()
+	}
+	hash := <-started
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		srv.mu.Lock()
+		c := srv.inflight[hash]
+		srv.mu.Unlock()
+		if c != nil && atomic.LoadInt64(&c.waiters) == clients-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("clients never collapsed onto the in-flight search")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mid := scrapeMetrics(t, ts.URL)
+	if got := mid["wfserve_evaluations_in_flight"]; got != 1 {
+		t.Fatalf("mid-flight evaluations gauge = %v", got)
+	}
+	if got := mid[`wfserve_in_flight_requests`]; got < clients {
+		t.Fatalf("in-flight requests gauge = %v, want ≥ %d", got, clients)
+	}
+	unblock()
+	wg.Wait()
+
+	// Hit, then an error (unknown query parameter on the text binding).
+	post(t, ts.URL, "application/json", body)
+	resp, err := http.Post(ts.URL+"/v1/schedule?frob=1", "text/plain", strings.NewReader("task a 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("error request status %d", resp.StatusCode)
+	}
+
+	m := scrapeMetrics(t, ts.URL)
+	for sample, want := range map[string]float64{
+		`wfserve_cache_requests_total{outcome="miss"}`:               1,
+		`wfserve_cache_requests_total{outcome="collapsed"}`:          clients - 1,
+		`wfserve_cache_requests_total{outcome="hit"}`:                1,
+		`wfserve_requests_total{endpoint="/v1/schedule",code="200"}`: clients + 1,
+		`wfserve_requests_total{endpoint="/v1/schedule",code="400"}`: 1,
+		`wfserve_errors_total`:                                       1,
+		`wfserve_evaluations_in_flight`:                              0,
+		`wfserve_store_entries`:                                      1,
+		// The one evaluation ran alone, so it got the full 2-worker
+		// budget (set once the engines start, after the test hook).
+		`wfserve_worker_share`:                  2,
+		`wfserve_search_duration_seconds_count`: 1,
+	} {
+		if got := m[sample]; got != want {
+			t.Errorf("%s = %v, want %v", sample, got, want)
+		}
+	}
+	// Latency histogram moved for the scheduling endpoint and the
+	// store holds the one response body.
+	if got := m[`wfserve_request_duration_seconds_count{endpoint="/v1/schedule"}`]; got != clients+2 {
+		t.Errorf("schedule latency count = %v, want %d", got, clients+2)
+	}
+	if got := m[`wfserve_requests_total{endpoint="/metrics",code="200"}`]; got < 2 {
+		t.Errorf("/metrics requests counter = %v, want ≥ 2", got)
+	}
+	if got := m[`wfserve_store_bytes`]; got <= 0 {
+		t.Errorf("store bytes gauge = %v", got)
+	}
+	// /stats quantiles derive from the same histogram.
+	st := srv.Stats()
+	if st.P50LatencyMS <= 0 || st.P99LatencyMS < st.P50LatencyMS {
+		t.Errorf("latency quantiles p50=%v p99=%v", st.P50LatencyMS, st.P99LatencyMS)
+	}
+}
+
+// TestMCDurationMetric pins the Monte-Carlo timing histogram.
+func TestMCDurationMetric(t *testing.T) {
+	srv := New(Config{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	post(t, ts.URL, "application/json",
+		testWorkflow(t, 10, 2, func(r *Request) { r.MCTrials = 200 }))
+	m := scrapeMetrics(t, ts.URL)
+	if got := m["wfserve_mc_duration_seconds_count"]; got != 1 {
+		t.Fatalf("mc duration count = %v", got)
+	}
+}
+
+// TestReadOnlyEndpointsRejectNonGET pins the 405 contract for the
+// read-only endpoints: wrong methods are refused with an Allow
+// header, mirroring /v1/schedule's POST guard.
+func TestReadOnlyEndpointsRejectNonGET(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, tc := range []struct{ method, path string }{
+		{http.MethodPost, "/healthz"},
+		{http.MethodPut, "/healthz"},
+		{http.MethodPost, "/stats"},
+		{http.MethodDelete, "/stats"},
+		{http.MethodPost, "/metrics"},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, body %s", tc.method, tc.path, resp.StatusCode, out)
+			continue
+		}
+		if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+			t.Errorf("%s %s: Allow = %q, want GET", tc.method, tc.path, allow)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(out, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s %s: error body not JSON: %s", tc.method, tc.path, out)
+		}
+	}
+	// GETs still work afterwards.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz after 405s: %d", resp.StatusCode)
+	}
+}
+
+// TestFailUnwrapsWrappedHTTPError pins the errors.As fix: an
+// *httpError wrapped by fmt.Errorf must keep its status instead of
+// degrading to 400.
+func TestFailUnwrapsWrappedHTTPError(t *testing.T) {
+	srv := New(Config{})
+	rec := httptest.NewRecorder()
+	srv.fail(rec, fmt.Errorf("decoding: %w",
+		&httpError{status: http.StatusRequestEntityTooLarge, msg: "too big"}))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("wrapped *httpError served status %d, want 413", rec.Code)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || !strings.Contains(e["error"], "too big") {
+		t.Fatalf("error body = %s", rec.Body.Bytes())
+	}
+	// Plain errors still default to 400.
+	rec = httptest.NewRecorder()
+	srv.fail(rec, fmt.Errorf("plain failure"))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("plain error served status %d, want 400", rec.Code)
+	}
+}
+
+// TestQueryParamRejections is the table test for the query-parameter
+// hardening: empty values and duplicated keys are 400s — a mangled
+// option must not silently change the experiment.
+func TestQueryParamRejections(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	wf := "task a 1\n"
+	cases := []struct {
+		name    string
+		query   string
+		status  int
+		errPart string
+	}{
+		{"empty grid", "?grid=", 400, `empty value for query parameter "grid"`},
+		{"bare key", "?grid", 400, `empty value for query parameter "grid"`},
+		{"empty lambda", "?lambda=", 400, `empty value for query parameter "lambda"`},
+		{"empty heuristic", "?heuristic=", 400, `empty value for query parameter "heuristic"`},
+		{"duplicate lambda", "?lambda=1e-3&lambda=2e-3", 400, `duplicate query parameter "lambda"`},
+		{"duplicate grid", "?grid=1&grid=2", 400, `duplicate query parameter "grid"`},
+		{"duplicate refine", "?refine=true&refine=false", 400, `duplicate query parameter "refine"`},
+		{"unknown", "?lamda=1e-3", 400, `unknown query parameter "lamda"`},
+		{"empty and valid", "?lambda=1e-3&grid=", 400, `empty value for query parameter "grid"`},
+		{"valid", "?lambda=1e-3&grid=3&refine=true", 200, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/schedule"+tc.query, "text/plain", strings.NewReader(wf))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d (body %s)", resp.StatusCode, tc.status, out)
+			}
+			if tc.errPart == "" {
+				return
+			}
+			var e map[string]string
+			if err := json.Unmarshal(out, &e); err != nil || !strings.Contains(e["error"], tc.errPart) {
+				t.Fatalf("error body %s does not contain %q", out, tc.errPart)
+			}
+		})
+	}
+}
+
+// TestQueryOptionsUnitRejections pins queryOptions directly,
+// including orderings the HTTP layer canonicalizes away.
+func TestQueryOptionsUnitRejections(t *testing.T) {
+	cases := map[string]url.Values{
+		"empty value":     {"grid": {""}},
+		"duplicate":       {"lambda": {"1", "2"}},
+		"empty duplicate": {"seed": {"", ""}},
+		"empty heuristic": {"heuristic": {""}},
+	}
+	for name, q := range cases {
+		if _, err := queryOptions(q); err == nil {
+			t.Errorf("%s: accepted %v", name, q)
+		}
+	}
+	req, err := queryOptions(url.Values{"lambda": {"1e-3"}, "heuristic": {"DF-CkptW"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Lambda != 1e-3 || req.Heuristic != "DF-CkptW" {
+		t.Fatalf("valid options mis-parsed: %+v", req)
+	}
+}
+
+// TestEmptyListsEncodeAsJSONArrays pins the null-vs-[] fix: a winner
+// with zero checkpoints must encode ckpt as [], and a decoded
+// Response carries non-nil slices a client can range over.
+func TestEmptyListsEncodeAsJSONArrays(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// Failure-free platform with real checkpoint costs: checkpointing
+	// anything only adds cost, so the winner checkpoints nothing.
+	wf := "task a 4 0.5 0.5\ntask b 2 0.5 0.5\nedge a b\n"
+	resp, err := http.Post(ts.URL+"/v1/schedule", "text/plain", strings.NewReader(wf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if bytes.Contains(body, []byte("null")) {
+		t.Fatalf("response contains JSON null: %s", body)
+	}
+	if !bytes.Contains(body, []byte(`"ckpt":[]`)) {
+		t.Fatalf("empty ckpt list not encoded as []: %s", body)
+	}
+	r, err := ReadResponse(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Best.Ckpt == nil || r.Best.Order == nil || r.Results == nil {
+		t.Fatalf("decoded response has nil slices: %+v", r)
+	}
+	if len(r.Best.Ckpt) != 0 || r.Best.NumCkpt != 0 {
+		t.Fatalf("expected a checkpoint-free winner, got %+v", r.Best)
+	}
+}
+
+// TestStructuredRequestLogs pins the per-request log record in both
+// slog encodings: endpoint, method, status, latency, cache status and
+// canonical hash.
+func TestStructuredRequestLogs(t *testing.T) {
+	t.Run("text", func(t *testing.T) {
+		var buf bytes.Buffer
+		srv := New(Config{Workers: 1, Logger: slog.New(slog.NewTextHandler(&buf, nil))})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		body := testWorkflow(t, 10, 5, nil)
+		out, _, _ := post(t, ts.URL, "application/json", body)
+		r, err := ReadResponse(bytes.NewReader(out))
+		if err != nil {
+			t.Fatal(err)
+		}
+		line := buf.String()
+		for _, want := range []string{
+			"msg=request", "endpoint=/v1/schedule", "method=POST",
+			"status=200", "cache=miss", "hash=" + r.Hash, "dur_ms=", "bytes=",
+		} {
+			if !strings.Contains(line, want) {
+				t.Errorf("text log missing %q: %s", want, line)
+			}
+		}
+	})
+	t.Run("json", func(t *testing.T) {
+		var buf bytes.Buffer
+		srv := New(Config{Workers: 1, Logger: slog.New(slog.NewJSONHandler(&buf, nil))})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		post(t, ts.URL, "application/json", testWorkflow(t, 10, 6, nil))
+		post(t, ts.URL, "application/json", testWorkflow(t, 10, 6, nil))
+		dec := json.NewDecoder(&buf)
+		var first, second map[string]any
+		if err := dec.Decode(&first); err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.Decode(&second); err != nil {
+			t.Fatal(err)
+		}
+		if first["endpoint"] != "/v1/schedule" || first["cache"] != "miss" {
+			t.Fatalf("first record = %v", first)
+		}
+		if second["cache"] != "hit" {
+			t.Fatalf("second record = %v", second)
+		}
+		if h, ok := first["hash"].(string); !ok || h == "" || h != second["hash"] {
+			t.Fatalf("hash mismatch across records: %v vs %v", first["hash"], second["hash"])
+		}
+		if _, ok := first["dur_ms"].(float64); !ok {
+			t.Fatalf("dur_ms missing: %v", first)
+		}
+	})
+	// No logger configured: requests must not panic or log.
+	t.Run("disabled", func(t *testing.T) {
+		srv := New(Config{Workers: 1})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		if _, _, code := post(t, ts.URL, "application/json", testWorkflow(t, 10, 7, nil)); code != 200 {
+			t.Fatalf("status %d", code)
+		}
+	})
+}

@@ -30,12 +30,36 @@
 // are worker-count-invariant, the split is purely a throughput
 // decision — it can never change a response byte.
 //
+// # Response store
+//
+// The response store sits behind the Store interface: the default is
+// a bounded in-memory LRU (NewLRU), and DiskStore persists bodies on
+// disk so a restarted server answers previous requests as cache hits.
+// Byte-determinism is what makes the seam safe — any store that
+// returns stored bodies verbatim serves responses bit-identical to a
+// fresh search, so stores are freely swappable (and, down the
+// roadmap, replicable).
+//
+// # Observability
+//
+// The server is instrumented with a dependency-free metrics layer
+// (internal/metrics) exposed at GET /metrics in the Prometheus text
+// format: per-endpoint request counts and latency histograms, cache
+// hit/miss/collapse/eviction counters, in-flight gauges, worker-share
+// and worker-budget gauges, and search and Monte-Carlo duration
+// histograms. Config.Logger (log/slog) receives one structured record
+// per request with endpoint, method, status, bytes, latency, cache
+// status and canonical hash. Every observer is read-only: metrics and
+// logs never feed back into response bytes, hashes or the store, so
+// the determinism contracts hold with observability on.
+//
 // # Endpoints
 //
 //	POST /v1/schedule  schedule a workflow (JSON body, or wfio text
 //	                   with options in query parameters)
 //	GET  /healthz      liveness probe
 //	GET  /stats        cache hit rate, in-flight requests, totals
+//	GET  /metrics      Prometheus text exposition
 package serve
 
 import (
@@ -43,6 +67,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"mime"
 	"net/http"
@@ -81,8 +106,9 @@ const (
 	DefaultMaxBodyBytes = 16 << 20
 	// hashVersion is folded into every canonical hash so that a
 	// change of response schema or engine semantics can invalidate
-	// old cache entries by bumping it.
-	hashVersion = "1"
+	// old cache entries by bumping it. v2: empty best.order/best.ckpt/
+	// results encode as [] instead of null.
+	hashVersion = "2"
 )
 
 // Config tunes one server instance. The zero value serves with all
@@ -105,6 +131,14 @@ type Config struct {
 	// MaxMCTrials rejects larger -mc validations (≤ 0:
 	// DefaultMaxMCTrials).
 	MaxMCTrials int
+	// Store overrides the response store (nil: an in-memory LRU
+	// bounded by CacheSize/CacheBytes). CacheSize and CacheBytes are
+	// ignored when Store is set — bounding is the store's business.
+	Store Store
+	// Logger, when set, receives one structured record per request
+	// (endpoint, method, status, bytes, latency, cache status,
+	// canonical hash). nil disables request logging.
+	Logger *slog.Logger
 }
 
 // Request is the JSON request body of POST /v1/schedule. The text
@@ -189,6 +223,11 @@ type Stats struct {
 	CacheBytes int64   `json:"cacheBytes"`
 	Evictions  int64   `json:"evictions"`
 	WorkerPool int     `json:"workerPool"`
+	// P50LatencyMS/P99LatencyMS estimate /v1/schedule request latency
+	// quantiles from the /metrics histogram buckets (0 until the
+	// first request).
+	P50LatencyMS float64 `json:"p50LatencyMs"`
+	P99LatencyMS float64 `json:"p99LatencyMs"`
 }
 
 // Server is the scheduling service. Create with New, mount Handler on
@@ -196,7 +235,8 @@ type Stats struct {
 // graceful shutdown is entirely http.Server.Shutdown's draining.
 type Server struct {
 	cfg   Config
-	cache *cache
+	store Store
+	obs   *observability
 
 	mu       sync.Mutex
 	inflight map[string]*call
@@ -233,19 +273,29 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
-	return &Server{
+	store := cfg.Store
+	if store == nil {
+		store = NewLRU(cfg.CacheSize, cfg.CacheBytes)
+	}
+	s := &Server{
 		cfg:      cfg,
-		cache:    newCache(cfg.CacheSize, cfg.CacheBytes),
+		store:    store,
 		inflight: make(map[string]*call),
 	}
+	s.obs = newObservability(s, cfg.Logger)
+	return s
 }
 
-// Handler returns the service's HTTP handler.
+// Handler returns the service's HTTP handler. Every endpoint runs
+// behind the instrumentation middleware (request counters, latency
+// histograms, structured logs); the read-only endpoints additionally
+// refuse non-GET methods with 405.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/schedule", s.handleSchedule)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/stats", s.handleStats)
+	mux.Handle("/v1/schedule", s.instrument("/v1/schedule", s.handleSchedule))
+	mux.Handle("/healthz", s.instrument("/healthz", s.getOnly(s.handleHealthz)))
+	mux.Handle("/stats", s.instrument("/stats", s.getOnly(s.handleStats)))
+	mux.Handle("/metrics", s.instrument("/metrics", s.getOnly(s.handleMetrics)))
 	return mux
 }
 
@@ -266,21 +316,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // before served (and served is incremented first on the write side),
 // so the reported hit rate never exceeds 1 under concurrent load.
 func (s *Server) Stats() Stats {
-	length, capacity, bytes, evictions := s.cache.stats()
+	ss := s.store.Stats()
 	hits := atomic.LoadInt64(&s.hits)
 	collapsed := atomic.LoadInt64(&s.collapsed)
 	st := Stats{
-		Served:     atomic.LoadInt64(&s.served),
-		CacheHits:  hits,
-		Collapsed:  collapsed,
-		Searches:   atomic.LoadInt64(&s.searches),
-		Errors:     atomic.LoadInt64(&s.errors),
-		InFlight:   atomic.LoadInt64(&s.running),
-		CacheLen:   length,
-		CacheCap:   capacity,
-		CacheBytes: bytes,
-		Evictions:  evictions,
-		WorkerPool: s.cfg.Workers,
+		Served:       atomic.LoadInt64(&s.served),
+		CacheHits:    hits,
+		Collapsed:    collapsed,
+		Searches:     atomic.LoadInt64(&s.searches),
+		Errors:       atomic.LoadInt64(&s.errors),
+		InFlight:     atomic.LoadInt64(&s.running),
+		CacheLen:     ss.Len,
+		CacheCap:     ss.Cap,
+		CacheBytes:   ss.Bytes,
+		Evictions:    ss.Evictions,
+		WorkerPool:   s.cfg.Workers,
+		P50LatencyMS: s.latencyQuantileMS(0.50),
+		P99LatencyMS: s.latencyQuantileMS(0.99),
 	}
 	if st.Served > 0 {
 		st.HitRate = float64(hits+collapsed) / float64(st.Served)
@@ -337,7 +389,9 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	body, status, err := s.schedule(req, f)
+	hash := hashOf(req, f)
+	body, status, err := s.schedule(hash, req, f)
+	annotate(w, hash, status)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -349,8 +403,13 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	atomic.AddInt64(&s.errors, 1)
+	s.obs.errorsTotal.Inc()
 	status := http.StatusBadRequest
-	if he, ok := err.(*httpError); ok {
+	// errors.As, not a bare type assertion: an *httpError wrapped by
+	// fmt.Errorf("%w") must keep its status instead of degrading to a
+	// generic 400.
+	var he *httpError
+	if errors.As(err, &he) {
 		status = he.status
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -394,13 +453,14 @@ func decodeRequest(r *http.Request) (*Request, *wfio.File, error) {
 }
 
 // queryOptions maps the text binding's query parameters onto a
-// Request (everything except the workflow itself). Unknown keys are
-// rejected, mirroring the JSON binding's DisallowUnknownFields — a
-// typoed option must not silently change the experiment.
+// Request (everything except the workflow itself). Unknown keys,
+// empty values (?grid=) and duplicated keys (?lambda=1&lambda=2) are
+// all rejected, mirroring the JSON binding's DisallowUnknownFields —
+// a typoed or mangled option must not silently change the experiment.
 func queryOptions(q url.Values) (*Request, error) {
 	known := map[string]bool{"lambda": true, "downtime": true, "grid": true,
 		"mc": true, "seed": true, "refine": true, "heuristic": true}
-	// Sort before validating: with two or more unknown keys, ranging
+	// Sort before validating: with two or more offending keys, ranging
 	// the map directly would make the reported offender — and thus
 	// the response bytes — depend on randomized iteration order.
 	keys := make([]string, 0, len(q))
@@ -411,6 +471,11 @@ func queryOptions(q url.Values) (*Request, error) {
 	for _, key := range keys {
 		if !known[key] {
 			return nil, badRequest("unknown query parameter %q", key)
+		}
+		if vs := q[key]; len(vs) > 1 {
+			return nil, badRequest("duplicate query parameter %q", key)
+		} else if vs[0] == "" {
+			return nil, badRequest("empty value for query parameter %q", key)
 		}
 	}
 	req := &Request{}
@@ -502,12 +567,11 @@ func hashOf(req *Request, f *wfio.File) string {
 }
 
 // schedule returns the encoded response body for a validated request,
-// deduplicating by canonical hash: cache hit, collapse onto an
+// deduplicating by canonical hash: store hit, collapse onto an
 // in-flight evaluation of the same hash, or a fresh search.
-func (s *Server) schedule(req *Request, f *wfio.File) (body []byte, status string, err error) {
-	hash := hashOf(req, f)
-	if body, ok := s.cache.get(hash); ok {
-		s.count(&s.hits)
+func (s *Server) schedule(hash string, req *Request, f *wfio.File) (body []byte, status string, err error) {
+	if body, ok := s.store.Get(hash); ok {
+		s.count(&s.hits, "hit")
 		return body, "hit", nil
 	}
 	s.mu.Lock()
@@ -519,15 +583,15 @@ func (s *Server) schedule(req *Request, f *wfio.File) (body []byte, status strin
 		// divides by successfully served requests) stays ≤ 1 when an
 		// in-flight evaluation fails for all its waiters.
 		if c.err == nil {
-			s.count(&s.collapsed)
+			s.count(&s.collapsed, "collapsed")
 		}
 		return c.body, "collapsed", c.err
 	}
 	// Re-check under the lock: the evaluation that was in flight at
-	// our cache miss may have completed in between.
-	if body, ok := s.cache.get(hash); ok {
+	// our store miss may have completed in between.
+	if body, ok := s.store.Get(hash); ok {
 		s.mu.Unlock()
-		s.count(&s.hits)
+		s.count(&s.hits, "hit")
 		return body, "hit", nil
 	}
 	c := &call{done: make(chan struct{})}
@@ -536,26 +600,28 @@ func (s *Server) schedule(req *Request, f *wfio.File) (body []byte, status strin
 
 	c.body, c.err = s.evaluate(hash, req, f)
 	if c.err == nil {
-		s.cache.put(hash, c.body)
+		s.store.Put(hash, c.body)
 	}
 	s.mu.Lock()
 	delete(s.inflight, hash)
 	s.mu.Unlock()
 	close(c.done)
 	if c.err == nil {
-		s.count(nil)
+		s.count(nil, "miss")
 	}
 	return c.body, "miss", c.err
 }
 
 // count increments served plus, optionally, one dedup outcome
 // counter — served first, so a concurrent /stats snapshot can never
-// observe more hits+collapses than served requests.
-func (s *Server) count(outcome *int64) {
+// observe more hits+collapses than served requests — and mirrors the
+// outcome into the /metrics counter family.
+func (s *Server) count(outcome *int64, label string) {
 	atomic.AddInt64(&s.served, 1)
 	if outcome != nil {
 		atomic.AddInt64(outcome, 1)
 	}
+	s.obs.cacheOutcomes.With(label).Inc()
 }
 
 // workerShare splits the server's worker budget across the
@@ -598,13 +664,19 @@ func (s *Server) evaluate(hash string, req *Request, f *wfio.File) ([]byte, erro
 	}
 
 	share := s.workerShare()
+	s.obs.workerShare.Set(float64(share))
+	searchStart := now()
 	results := portfolio.Run(hs, g, plat, portfolio.Options{Workers: share, Refine: req.Refine})
+	s.obs.searchDuration.Observe(now().Sub(searchStart).Seconds())
 	best := portfolio.Best(results)
 
 	resp := &Response{
 		Hash:  hash,
 		Tasks: g.N(),
 		TInf:  g.TotalWeight(),
+		// Non-nil empty slices: an empty list must encode as the JSON
+		// [] a client can iterate, never as null.
+		Results: []HeuristicResult{},
 	}
 	for _, r := range results {
 		resp.Results = append(resp.Results, HeuristicResult{
@@ -621,6 +693,8 @@ func (s *Server) evaluate(hash string, req *Request, f *wfio.File) ([]byte, erro
 			Ratio:     best.Ratio,
 			NumCkpt:   best.Schedule.NumCheckpointed(),
 		},
+		Order: []string{},
+		Ckpt:  []string{},
 	}
 	for _, id := range best.Schedule.Order {
 		resp.Best.Order = append(resp.Best.Order, g.Name(id))
@@ -634,6 +708,7 @@ func (s *Server) evaluate(hash string, req *Request, f *wfio.File) ([]byte, erro
 	if req.MCTrials > 0 {
 		// Same seed offset as cmd/wfsched -mc, so the service and the
 		// CLI cross-validate identically.
+		mcStart := now()
 		res, err := mc.Run(best.Schedule, plat, mc.Config{
 			Trials:      req.MCTrials,
 			Seed:        req.Seed + 99,
@@ -641,6 +716,7 @@ func (s *Server) evaluate(hash string, req *Request, f *wfio.File) ([]byte, erro
 			Percentiles: []float64{5, 50, 95, 99},
 			Factory:     simulator.Factory(),
 		})
+		s.obs.mcDuration.Observe(now().Sub(mcStart).Seconds())
 		if err != nil {
 			return nil, badRequest("%v", err)
 		}

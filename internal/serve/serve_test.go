@@ -54,30 +54,29 @@ func post(t *testing.T, url string, contentType string, body []byte) ([]byte, st
 }
 
 func TestLRUCache(t *testing.T) {
-	c := newCache(2, 0)
-	c.put("a", []byte("A"))
-	c.put("b", []byte("B"))
-	if v, ok := c.get("a"); !ok || string(v) != "A" {
+	c := NewLRU(2, 0)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if v, ok := c.Get("a"); !ok || string(v) != "A" {
 		t.Fatal("a missing")
 	}
-	c.put("c", []byte("C")) // evicts b (a was refreshed)
-	if _, ok := c.get("b"); ok {
+	c.Put("c", []byte("C")) // evicts b (a was refreshed)
+	if _, ok := c.Get("b"); ok {
 		t.Fatal("b not evicted")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, ok := c.Get("a"); !ok {
 		t.Fatal("a evicted despite recency")
 	}
-	length, capacity, bytes, evictions := c.stats()
-	if length != 2 || capacity != 2 || bytes != 2 || evictions != 1 {
-		t.Fatalf("stats = %d/%d/%d/%d", length, capacity, bytes, evictions)
+	if st := c.Stats(); st.Len != 2 || st.Cap != 2 || st.Bytes != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
 	}
 	// Re-putting a key must refresh, not grow.
-	c.put("a", []byte("A2"))
-	if v, _ := c.get("a"); string(v) != "A2" {
+	c.Put("a", []byte("A2"))
+	if v, _ := c.Get("a"); string(v) != "A2" {
 		t.Fatal("re-put did not update")
 	}
-	if l, _, b, _ := c.stats(); l != 2 || b != 3 {
-		t.Fatalf("re-put grew cache to %d entries / %d bytes", l, b)
+	if st := c.Stats(); st.Len != 2 || st.Bytes != 3 {
+		t.Fatalf("re-put grew cache to %d entries / %d bytes", st.Len, st.Bytes)
 	}
 }
 
@@ -85,26 +84,26 @@ func TestLRUCache(t *testing.T) {
 // never exceed the budget, and a body larger than the whole budget
 // is served but not stored.
 func TestLRUByteBudget(t *testing.T) {
-	c := newCache(100, 10)
-	c.put("a", []byte("aaaa"))   // 4 bytes resident
-	c.put("b", []byte("bbbb"))   // 8 resident
-	c.put("c", []byte("cccccc")) // 14 > 10 → evicts a, leaving b+c = 10
-	if _, _, bytes, _ := c.stats(); bytes > 10 {
-		t.Fatalf("byte budget exceeded: %d", bytes)
+	c := NewLRU(100, 10)
+	c.Put("a", []byte("aaaa"))   // 4 bytes resident
+	c.Put("b", []byte("bbbb"))   // 8 resident
+	c.Put("c", []byte("cccccc")) // 14 > 10 → evicts a, leaving b+c = 10
+	if st := c.Stats(); st.Bytes > 10 {
+		t.Fatalf("byte budget exceeded: %d", st.Bytes)
 	}
-	if _, ok := c.get("a"); ok {
+	if _, ok := c.Get("a"); ok {
 		t.Fatal("oldest entry survived a byte-budget eviction")
 	}
-	if _, ok := c.get("c"); !ok {
+	if _, ok := c.Get("c"); !ok {
 		t.Fatal("newest entry missing")
 	}
 	// Oversized bodies are not cached at all.
-	c.put("huge", make([]byte, 11))
-	if _, ok := c.get("huge"); ok {
+	c.Put("huge", make([]byte, 11))
+	if _, ok := c.Get("huge"); ok {
 		t.Fatal("body larger than the whole budget was cached")
 	}
-	if l, _, bytes, _ := c.stats(); bytes > 10 || l > 2 {
-		t.Fatalf("oversized put corrupted accounting: %d entries, %d bytes", l, bytes)
+	if st := c.Stats(); st.Bytes > 10 || st.Len > 2 {
+		t.Fatalf("oversized put corrupted accounting: %d entries, %d bytes", st.Len, st.Bytes)
 	}
 }
 

@@ -1,0 +1,40 @@
+package serve
+
+// Store is the response store behind the service's result
+// deduplication: canonical workflow hash → encoded response body.
+// It is the seam the distributed roadmap item needs — a replicated or
+// remote store slots in here without touching the server.
+//
+// Contract:
+//
+//   - Get returns the bytes previously stored under hash, verbatim —
+//     the server relies on stored bodies being bit-identical to the
+//     cold evaluation that produced them, so implementations must
+//     never mutate, truncate or rewrite a body.
+//   - Put stores body under hash. Implementations may decline to
+//     store (bounded stores evict; an oversized body may be dropped);
+//     a decline only costs a future re-search, never correctness.
+//   - Both must be safe for concurrent use.
+//   - Stats is a point-in-time snapshot for /stats and /metrics; it
+//     must not block Get/Put for longer than a counter read.
+//
+// The in-memory LRU (NewLRU) is the default; DiskStore persists
+// across restarts and proves the seam.
+type Store interface {
+	Get(hash string) (body []byte, ok bool)
+	Put(hash string, body []byte)
+	Stats() StoreStats
+}
+
+// StoreStats is a Store snapshot.
+type StoreStats struct {
+	// Len is the number of resident entries.
+	Len int
+	// Cap is the entry capacity (0 = unbounded).
+	Cap int
+	// Bytes is the total resident body bytes.
+	Bytes int64
+	// Evictions counts entries dropped to stay within bounds
+	// (monotone; 0 for stores that never evict).
+	Evictions int64
+}

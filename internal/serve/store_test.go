@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+)
+
+// runStoreContract is the Store interface contract, run against every
+// implementation: bodies come back verbatim, re-puts replace, stats
+// account for entries and bytes.
+func runStoreContract(t *testing.T, s Store) {
+	t.Helper()
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get on empty store returned ok")
+	}
+	body1 := []byte(`{"hash":"abc123"}` + "\n")
+	s.Put("abc123", body1)
+	got, ok := s.Get("abc123")
+	if !ok || !bytes.Equal(got, body1) {
+		t.Fatalf("Get after Put = %q, %v", got, ok)
+	}
+	if st := s.Stats(); st.Len != 1 || st.Bytes != int64(len(body1)) {
+		t.Fatalf("stats after one put = %+v", st)
+	}
+	// Re-putting a hash replaces the body without growing the store.
+	body2 := []byte(`{"hash":"abc123","v":2}` + "\n")
+	s.Put("abc123", body2)
+	if got, _ := s.Get("abc123"); !bytes.Equal(got, body2) {
+		t.Fatal("re-put did not replace the body")
+	}
+	if st := s.Stats(); st.Len != 1 || st.Bytes != int64(len(body2)) {
+		t.Fatalf("stats after re-put = %+v", st)
+	}
+	s.Put("def456", []byte("x"))
+	if st := s.Stats(); st.Len != 2 || st.Bytes != int64(len(body2))+1 {
+		t.Fatalf("stats after second put = %+v", st)
+	}
+	// Distinct hashes must not alias.
+	if got, _ := s.Get("def456"); !bytes.Equal(got, []byte("x")) {
+		t.Fatal("hashes alias")
+	}
+}
+
+func TestStoreContract(t *testing.T) {
+	t.Run("lru", func(t *testing.T) {
+		runStoreContract(t, NewLRU(8, 0))
+	})
+	t.Run("disk", func(t *testing.T) {
+		d, err := NewDiskStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		runStoreContract(t, d)
+	})
+}
+
+// TestDiskStoreRejectsUnsafeKeys pins the file-name guard: keys that
+// could escape the directory are never read or written.
+func TestDiskStoreRejectsUnsafeKeys(t *testing.T) {
+	d, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "../escape", "a/b", "a.b", "a b"} {
+		d.Put(key, []byte("x"))
+		if _, ok := d.Get(key); ok {
+			t.Fatalf("unsafe key %q was stored", key)
+		}
+	}
+	if st := d.Stats(); st.Len != 0 || st.Bytes != 0 {
+		t.Fatalf("unsafe puts changed accounting: %+v", st)
+	}
+}
+
+// TestDiskStoreRestart pins the persistence contract: a fresh
+// DiskStore over the same directory sees the previous entries and
+// accounts for them.
+func TestDiskStoreRestart(t *testing.T) {
+	dir := t.TempDir()
+	d1, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := []byte(`{"hash":"cafe01"}` + "\n")
+	d1.Put("cafe01", body)
+	d1.Put("cafe02", []byte("second"))
+
+	d2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d2.Get("cafe01")
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("restarted store lost the body: %q, %v", got, ok)
+	}
+	if st := d2.Stats(); st.Len != 2 || st.Bytes != int64(len(body))+6 {
+		t.Fatalf("restarted stats = %+v", st)
+	}
+}
+
+// TestServerRestartSurvivesWithDiskStore is the end-to-end seam
+// proof: a second server process (fresh Server, same directory)
+// answers a previously scheduled request as a byte-identical cache
+// hit without running a search.
+func TestServerRestartSurvivesWithDiskStore(t *testing.T) {
+	dir := t.TempDir()
+	body := testWorkflow(t, 12, 7, nil)
+
+	srv1 := New(Config{Workers: 2, Store: mustDisk(t, dir)})
+	ts1 := httptest.NewServer(srv1.Handler())
+	cold, st1, code1 := post(t, ts1.URL, "application/json", body)
+	ts1.Close()
+	if code1 != 200 || st1 != "miss" {
+		t.Fatalf("first run: %d %q", code1, st1)
+	}
+
+	srv2 := New(Config{Workers: 2, Store: mustDisk(t, dir)})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	warm, st2, code2 := post(t, ts2.URL, "application/json", body)
+	if code2 != 200 || st2 != "hit" {
+		t.Fatalf("restarted run: %d %q", code2, st2)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("restart-surviving response differs from cold run")
+	}
+	if st := srv2.Stats(); st.Searches != 0 || st.CacheHits != 1 {
+		t.Fatalf("restarted server ran a search: %+v", st)
+	}
+}
+
+func mustDisk(t *testing.T, dir string) *DiskStore {
+	t.Helper()
+	d, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
