@@ -12,7 +12,8 @@
 GO ?= go
 
 .PHONY: build test race bench bench-json bench-hot bench-baseline bench-gate \
-	fuzz lint fmt vet cover check serve staticcheck wfvet shuffle govulncheck
+	fuzz lint fmt vet cover check serve staticcheck wfvet shuffle govulncheck \
+	profile
 
 # Differential fuzzing of the incremental sweep evaluator (delta vs
 # cold bit-identity plus the Algorithm-1 reference); FUZZTIME bounds
@@ -31,6 +32,7 @@ race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 -run 'TestConcurrent' ./internal/serve
 	$(GO) test -race -count=1 -run 'TestReactiveDeterminism|TestCompareMCWorkerInvariance' ./internal/rerun
+	$(GO) test -race -count=1 -run 'TestStealDeterminismStress' ./internal/portfolio
 
 # Run the scheduling service locally (ADDR overrides the listen
 # address: make serve ADDR=:9090).
@@ -50,7 +52,7 @@ bench:
 #   go run ./cmd/benchjson -file BENCH_sweep.json -extract <new>  > new.txt
 #   benchstat old.txt new.txt
 BENCH_LABEL ?= local-$(shell date +%Y-%m-%d)
-BENCH_JSON_SET = BenchmarkEvaluator$$|BenchmarkPortfolioSerial$$|BenchmarkPortfolioParallel$$|BenchmarkPortfolioN100$$|BenchmarkPortfolioN2000$$|BenchmarkRefine$$|BenchmarkRefineN700$$|BenchmarkSweepExhaustive$$|BenchmarkReactiveRun$$
+BENCH_JSON_SET = BenchmarkEvaluator$$|BenchmarkPortfolioSerial$$|BenchmarkPortfolioParallel$$|BenchmarkPortfolioN100$$|BenchmarkPortfolioN2000$$|BenchmarkPortfolioN2000Short$$|BenchmarkRefine$$|BenchmarkRefineN700$$|BenchmarkSweepExhaustive$$|BenchmarkReactiveRun$$
 bench-json:
 	@out=$$(mktemp); \
 	{ $(GO) test -run='^$$' -bench='$(BENCH_JSON_SET)' -benchtime=1x . && \
@@ -75,13 +77,14 @@ bench-json:
 GATE_BASELINE ?= gate-baseline
 GATE_COUNT ?= 6
 GATE_THRESHOLD ?= 0.10
-GATE_REQUIRE = BenchmarkDeltaFlip/n=700,BenchmarkSweepExhaustive/n=700,BenchmarkPortfolioN100,BenchmarkRefineN700,BenchmarkReactiveRun
+GATE_REQUIRE = BenchmarkDeltaFlip/n=700,BenchmarkSweepExhaustive/n=700,BenchmarkPortfolioN100,BenchmarkPortfolioN2000Short,BenchmarkRefineN700,BenchmarkReactiveRun
 # One shell pipeline emitting GATE_COUNT samples of every gated
 # benchmark; per-benchmark -benchtime keeps each sample meaningful
 # without letting the slow sweeps dominate the wall clock.
 GATE_RUN = { \
   $(GO) test -run='^$$' -bench='BenchmarkSweepExhaustive$$' -benchtime=2x -count=$(GATE_COUNT) . && \
   $(GO) test -run='^$$' -bench='BenchmarkPortfolioN100$$' -benchtime=20x -count=$(GATE_COUNT) . && \
+  $(GO) test -run='^$$' -bench='BenchmarkPortfolioN2000Short$$' -benchtime=1x -count=$(GATE_COUNT) . && \
   $(GO) test -run='^$$' -bench='BenchmarkRefineN700$$' -benchtime=3x -count=$(GATE_COUNT) . && \
   $(GO) test -run='^$$' -bench='BenchmarkReactiveRun$$' -benchtime=50x -count=$(GATE_COUNT) . && \
   $(GO) test -run='^$$' -bench='BenchmarkDeltaFlip$$' -benchtime=200x -count=$(GATE_COUNT) ./internal/core; }
@@ -89,6 +92,20 @@ GATE_RUN = { \
 # Run the gate's benchmark set without comparing (eyeball the output).
 bench-hot:
 	@$(GATE_RUN)
+
+# Capture an end-to-end portfolio profile at scale through wfsched's
+# profiling flags: CPU profile (where the evaluator time goes), heap
+# profile (the per-worker arena budget), execution trace (where the
+# workers idle — the signal the work-stealing scheduler acts on).
+# Inspect with `go tool pprof` / `go tool trace`.
+PROFILE_N ?= 2000
+profile:
+	mkdir -p artifacts
+	$(GO) run ./cmd/wfsched -workflow CyberShake -n $(PROFILE_N) -grid 24 \
+	  -cpuprofile artifacts/portfolio_n$(PROFILE_N).cpu.pprof \
+	  -memprofile artifacts/portfolio_n$(PROFILE_N).mem.pprof \
+	  -trace artifacts/portfolio_n$(PROFILE_N).trace.out
+	@echo "profile: wrote artifacts/portfolio_n$(PROFILE_N).{cpu,mem}.pprof and .trace.out"
 
 # Record the gate's benchmark set as the checked-in baseline entry.
 bench-baseline:

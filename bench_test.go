@@ -412,16 +412,35 @@ func BenchmarkPortfolioN100(b *testing.B) {
 
 // BenchmarkPortfolioN2000 is the scale point of the portfolio perf
 // trajectory: the 14-heuristic workload well past the paper's largest
-// size, where the allocation-free evaluator arenas and the bound-
-// pruned N-sweep carry the cost. One worker keeps the number a pure
-// algorithmic measurement (parallel speedup is BenchmarkPortfolioParallel's
-// job).
+// size. It runs the engine's default (all-core) configuration — the
+// number this benchmark tracks is the work-stealing scheduler's
+// wall-clock at large n, where bound-pruning collapses the portfolio
+// to a few dominant heuristics and the steal/subdivide layer is what
+// keeps the other cores busy (results are byte-identical to workers=1,
+// which the determinism stress test pins).
 func BenchmarkPortfolioN2000(b *testing.B) {
 	g, hs := benchPortfolioN(b, 2000)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rs := portfolio.Run(hs, g, plat, portfolio.Options{Workers: 1})
+		rs := portfolio.Run(hs, g, plat, portfolio.Options{})
+		if len(rs) != 14 {
+			b.Fatal("bad portfolio result")
+		}
+	}
+}
+
+// BenchmarkPortfolioN2000Short is the gate-sized variant of the scale
+// point: the same workload and engine configuration at n = 600, small
+// enough for the blocking bench gate's multi-sample runs while still
+// exercising every layer the full-size benchmark does (shared factor
+// tables, pre-split cells, stealing).
+func BenchmarkPortfolioN2000Short(b *testing.B) {
+	g, hs := benchPortfolioN(b, 600)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs := portfolio.Run(hs, g, plat, portfolio.Options{})
 		if len(rs) != 14 {
 			b.Fatal("bad portfolio result")
 		}

@@ -41,6 +41,8 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"repro/internal/prof"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -90,6 +92,7 @@ func main() {
 		alpha     = flag.Float64("alpha", 0.05, "gate: Mann–Whitney significance level a regression must reach")
 		normalize = flag.Bool("normalize", false, "gate: divide per-benchmark ratios by their geometric mean (cancels uniform machine-speed shifts)")
 		require   = flag.String("require", "", "gate: comma-separated benchmark names that must be present in both runs")
+		profCfg   = prof.FlagVars()
 	)
 	flag.Parse()
 	modes := 0
@@ -102,6 +105,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -label (ingest), -extract or -gate must be given")
 		os.Exit(2)
 	}
+	stopProf, err := profCfg.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 	if *gateLabel != "" {
 		f, err := load(*file)
 		if err == nil {
@@ -113,13 +121,20 @@ func main() {
 			}
 			err = gate(f, *file, *gateLabel, os.Stdin, os.Stdout, *threshold, *alpha, *normalize, req)
 		}
+		if perr := stopProf(); err == nil {
+			err = perr
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*file, *label, *extract, os.Stdin, os.Stdout); err != nil {
+	err = run(*file, *label, *extract, os.Stdin, os.Stdout)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -148,7 +163,15 @@ func run(path, label, extract string, in io.Reader, out io.Writer) error {
 				return nil
 			}
 		}
-		return fmt.Errorf("no entry labelled %q in %s", extract, path)
+		if len(f.Entries) == 0 {
+			return fmt.Errorf("no entry labelled %q in %s (the file has no entries)", extract, path)
+		}
+		labels := make([]string, len(f.Entries))
+		for i, e := range f.Entries {
+			labels[i] = e.Label
+		}
+		return fmt.Errorf("no entry labelled %q in %s; available labels: %s",
+			extract, path, strings.Join(labels, ", "))
 	}
 	entry, err := parse(label, in)
 	if err != nil {

@@ -94,13 +94,31 @@ func TestIngestRejectsEmpty(t *testing.T) {
 	}
 }
 
+// A missing -extract label must list what IS in the file, so the user
+// does not have to open the JSON by hand to find the right label.
 func TestExtractUnknownLabel(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "b.json")
 	if err := run(path, "base", "", strings.NewReader(sampleBench), nil); err != nil {
 		t.Fatal(err)
 	}
+	if err := run(path, "delta", "", strings.NewReader(sampleBench), nil); err != nil {
+		t.Fatal(err)
+	}
 	var out bytes.Buffer
-	if err := run(path, "", "nope", nil, &out); err == nil {
+	err := run(path, "", "nope", nil, &out)
+	if err == nil {
 		t.Fatal("unknown label accepted")
+	}
+	for _, frag := range []string{`"nope"`, "available labels", "base", "delta"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("error %q does not mention %q", err, frag)
+		}
+	}
+
+	// An empty trajectory says so instead of listing nothing.
+	empty := filepath.Join(t.TempDir(), "missing.json")
+	err = run(empty, "", "nope", nil, &out)
+	if err == nil || !strings.Contains(err.Error(), "no entries") {
+		t.Fatalf("empty-file extract error = %v, want a no-entries explanation", err)
 	}
 }

@@ -40,6 +40,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/mc"
 	"repro/internal/portfolio"
+	"repro/internal/prof"
 	"repro/internal/pwg"
 	"repro/internal/rerun"
 	"repro/internal/sched"
@@ -67,9 +68,19 @@ func main() {
 		refineOn  = flag.Bool("refine", false, "hill-climb every heuristic's winning schedule")
 		reactive  = flag.Bool("reactive", false, "compare the static winner against reschedule-on-failure by paired Monte-Carlo")
 		dot       = flag.String("dot", "", "write the best schedule's DAG as DOT to this file")
+		profCfg   = prof.FlagVars()
 	)
 	flag.Parse()
-	if err := run(*workflow, *n, *seed, *in, *lambda, *downtime, *cost, *heuristic, *grid, *mcTrials, *workers, *refineOn, *reactive, *dot); err != nil {
+	stopProf, err := profCfg.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfsched:", err)
+		os.Exit(1)
+	}
+	err = run(*workflow, *n, *seed, *in, *lambda, *downtime, *cost, *heuristic, *grid, *mcTrials, *workers, *refineOn, *reactive, *dot)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "wfsched:", err)
 		os.Exit(1)
 	}

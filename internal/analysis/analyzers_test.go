@@ -29,7 +29,7 @@ func TestFloatCmp(t *testing.T) {
 
 func TestEvalShare(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), analysis.EvalShare,
-		"evalshare/portfolio")
+		"evalshare/portfolio", "evalshare/core")
 }
 
 func TestScopes(t *testing.T) {

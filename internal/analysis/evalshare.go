@@ -16,6 +16,13 @@ import (
 // that leases its own evaluator *inside* the spawned goroutine is
 // fine — the analyzer only fires when an evaluator value created
 // outside the goroutine crosses into it.
+//
+// core.FactorTable is the sanctioned exception to the single-owner
+// rule: it is immutable after NewFactorTable returns, so sharing one
+// table across pooled evaluators and goroutines is exactly its
+// purpose and is never flagged. What IS flagged is the thing that
+// would break the sanction: writing a FactorTable field anywhere but
+// inside core's NewFactorTable constructor.
 var EvalShare = &Analyzer{
 	Name:   "evalshare",
 	Waiver: "evalshare",
@@ -25,7 +32,10 @@ core.Evaluator and core.DeltaEvaluator are single-owner: every Eval
 overwrites shared buffers. Workers must lease their own evaluator via
 the portfolio pool (get/put or forEach) inside the goroutine instead
 of capturing one from the spawning scope or receiving one on a
-channel. Waive a justified exception with //wfvet:evalshare <reason>.`,
+channel. core.FactorTable is read-only after construction and may be
+shared freely; mutating its fields outside core.NewFactorTable is
+flagged instead. Waive a justified exception with
+//wfvet:evalshare <reason>.`,
 	Run: runEvalShare,
 }
 
@@ -50,6 +60,24 @@ func isEvaluatorPtr(t types.Type) bool {
 		evaluatorTypeNames[obj.Name()]
 }
 
+// isFactorTable reports whether t is core.FactorTable or a pointer to
+// it. Value copies count too: a copied struct still aliases the
+// original's factor slices, so writing through a copy mutates the
+// shared table all the same.
+func isFactorTable(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil &&
+		lastSegment(obj.Pkg().Path()) == "core" &&
+		obj.Name() == "FactorTable"
+}
+
 func runEvalShare(pass *Pass) error {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -65,8 +93,58 @@ func runEvalShare(pass *Pass) error {
 			}
 			return true
 		})
+		checkFactorMutation(pass, file)
 	}
 	return nil
+}
+
+// checkFactorMutation flags writes to core.FactorTable fields. The
+// table's immutability is what sanctions sharing it across pooled
+// evaluators without the lease API, so the only place allowed to
+// write its fields is core's NewFactorTable constructor.
+func checkFactorMutation(pass *Pass, file *ast.File) {
+	inCore := lastSegment(pass.Pkg.Path()) == "core"
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if inCore && fd.Recv == nil && fd.Name.Name == "NewFactorTable" {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					reportFactorWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				reportFactorWrite(pass, n.X)
+			}
+			return true
+		})
+	}
+}
+
+// reportFactorWrite reports lhs when it writes through a FactorTable
+// field (t.coef = ..., t.fw[i] = ..., t.fw[i]++, ...).
+func reportFactorWrite(pass *Pass, lhs ast.Expr) {
+	for {
+		ix, ok := lhs.(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		lhs = ix.X
+	}
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if t := pass.TypesInfo.TypeOf(sel.X); t != nil && isFactorTable(t) {
+		pass.Reportf(lhs.Pos(),
+			"%s writes a core.FactorTable field: the table is immutable after NewFactorTable — that immutability is what sanctions sharing it across pooled evaluators; build a new table instead",
+			exprString(pass.Fset, lhs))
+	}
 }
 
 func checkGoCall(pass *Pass, call *ast.CallExpr) {

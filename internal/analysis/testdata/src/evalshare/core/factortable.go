@@ -1,0 +1,44 @@
+// Golden input for the FactorTable mutation rule. The package's final
+// path segment is "core", so its FactorTable stands in for the real
+// repro/internal/core.FactorTable — writes are legal Go here (the
+// fields are unexported, so only a core package could make them),
+// which is exactly where the analyzer must hold the line.
+package core
+
+// FactorTable mirrors the shape of the production type: an immutable
+// per-(instance, platform) cache of transcendental factors.
+type FactorTable struct {
+	coef float64
+	fw   []float64
+}
+
+// NewFactorTable is the one sanctioned writer: the constructor may
+// fill the fields before the table escapes.
+func NewFactorTable(n int) *FactorTable {
+	t := &FactorTable{fw: make([]float64, n)}
+	t.coef = 1
+	for i := range t.fw {
+		t.fw[i] = float64(i)
+	}
+	return t
+}
+
+// Rescale mutates a table that may already be shared across pooled
+// evaluators — the exact hazard the immutability rule exists for.
+func Rescale(t *FactorTable, f float64) {
+	t.coef = f   // want `t.coef writes a core.FactorTable field`
+	t.fw[0] = f  // want `t.fw writes a core.FactorTable field`
+	t.fw[0]++    // want `t.fw writes a core.FactorTable field`
+	tt := *t     // a copy still aliases the factor slices
+	tt.fw[1] = f // want `tt.fw writes a core.FactorTable field`
+	_ = tt
+}
+
+// Read-only access is fine.
+func Sum(t *FactorTable) float64 {
+	s := t.coef
+	for _, v := range t.fw {
+		s += v
+	}
+	return s
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/failure"
 )
 
 // CapturedByGoFunc shares one evaluator between the spawner and every
@@ -60,4 +61,23 @@ func Waived() {
 	ev := core.NewEvaluator()
 	//wfvet:evalshare handoff, not sharing: the spawner never touches ev again and exits
 	go use(ev)
+}
+
+// SharedFactorTable is the sanctioned sharing shape: a FactorTable is
+// immutable after construction, so capturing one table in every
+// worker goroutine (while each worker leases its own evaluator) is
+// exactly what the type is for — no finding.
+func SharedFactorTable(n int, get func() *core.Evaluator, put func(*core.Evaluator)) {
+	tab := core.NewFactorTable(nil, failure.Platform{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev := get()
+			defer put(ev)
+			ev.SetFactorTable(tab)
+		}()
+	}
+	wg.Wait()
 }

@@ -54,6 +54,49 @@ func TestColdEvalWarmAllocFree(t *testing.T) {
 	}
 }
 
+// TestSharedTableAllocs pins the shared factor-table path the pooled
+// engines use: warm evals with an installed table stay at zero
+// allocs/op, and constructing an evaluator *from a shared table*
+// costs strictly fewer allocations than cold construction (cold must
+// build its own table — the shared path skips exactly that).
+func TestSharedTableAllocs(t *testing.T) {
+	s, p := benchDeltaSetup(t, 300)
+	tab := NewFactorTable(s.Graph, p)
+
+	ev := NewEvaluator()
+	ev.SetFactorTable(tab)
+	ev.Eval(s, p) // sizes the arenas
+	i := 0
+	warm := testing.AllocsPerRun(50, func() {
+		id := (i * 13) % 300
+		i++
+		s.Ckpt[id] = !s.Ckpt[id]
+		if v := ev.Eval(s, p); v <= 0 {
+			t.Fatal("bad makespan")
+		}
+	})
+	if warm != 0 {
+		t.Errorf("warm Eval with shared table allocates %.1f allocs/op, want 0", warm)
+	}
+
+	cold := testing.AllocsPerRun(10, func() {
+		e := NewEvaluator()
+		if v := e.Eval(s, p); v <= 0 {
+			t.Fatal("bad makespan")
+		}
+	})
+	shared := testing.AllocsPerRun(10, func() {
+		e := NewEvaluator()
+		e.SetFactorTable(tab)
+		if v := e.Eval(s, p); v <= 0 {
+			t.Fatal("bad makespan")
+		}
+	})
+	if shared >= cold {
+		t.Errorf("shared-table construction costs %.1f allocs, cold %.1f: want strictly fewer", shared, cold)
+	}
+}
+
 // TestEvaluatorColdAllocBudget bounds the number of allocations a
 // fresh evaluator spends sizing itself. The flat arenas make this a
 // small constant (a handful of backing arrays plus their row-view

@@ -122,6 +122,13 @@ type Evaluator struct {
 	// that lease whole Evaluators get a delta evaluator under the same
 	// lease, without any signature change.
 	delta *DeltaEvaluator
+
+	// table caches the (graph, platform) transcendental factors. It is
+	// either installed by SetFactorTable (shared, read-only — the one
+	// sanctioned piece of cross-evaluator state) or built lazily on the
+	// first Eval of an instance and reused for every later load of the
+	// same (graph, platform).
+	table *FactorTable
 }
 
 // NewEvaluator returns an empty evaluator ready for use.
@@ -341,6 +348,16 @@ func (e *Evaluator) Eval(s *Schedule, p failure.Platform) float64 {
 		return total
 	}
 	e.load(s)
+	// Per-task success factors, permuted from the factor table into
+	// position space: fw[i] = e^{−λ w_i}, fc[i] = e^{−λ c_i}. The table
+	// holds the exact bits the old inline math.Exp calls produced, so
+	// shared-table and self-built evaluations are indistinguishable.
+	tab := e.ensureTable(g, p)
+	for id := 0; id < n; id++ {
+		i := e.posBuf[id] + 1
+		e.fw[i] = tab.fw[id]
+		e.fc[i] = tab.fc[id]
+	}
 	e.computeLostSets(n)
 	return e.expectedMakespan(n, p)
 }
@@ -389,11 +406,8 @@ func (e *Evaluator) expectedMakespan(n int, p failure.Platform) float64 {
 		exSum[i] = 0
 		probSum[i] = 0
 	}
-	// Per-task success factors.
-	for i := 1; i <= n; i++ {
-		e.fw[i] = math.Exp(-lambda * e.w[i])
-		e.fc[i] = math.Exp(-lambda * e.c[i])
-	}
+	// e.fw/e.fc hold the per-task success factors, permuted from the
+	// factor table by Eval before this runs.
 
 	// k = 0 contributions: P(Z^i_0) = Π_{t<i} fw[t]·(δ_t ? fc[t] : 1)
 	// (no failure before X_i starts: every prefix segment succeeds).

@@ -69,10 +69,12 @@ func SetDeltaPath(on bool) (prev bool) {
 //
 // # Memory
 //
-// The caches are five (n+1)×(n+1) float64 matrices plus the int32
+// The caches are six (n+1)×(n+1) float64 matrices plus the int32
 // placedAt matrix — each a single flat arena, so a resize costs O(1)
-// allocations and row-major passes walk memory linearly — ≈ 44·n²
-// bytes (22 MB at n = 700, 176 MB at n = 2000) per evaluator. Engines
+// allocations and row-major passes walk memory linearly — ≈ 52·n²
+// bytes (26 MB at n = 700, 208 MB at n = 2000) per evaluator. (The
+// sixth matrix, condv, trades that memory for one fewer stream in the
+// accumulate inner loop — the measured hot spot at n = 2000.) Engines
 // that lease one evaluator per worker should budget accordingly at
 // very large n.
 //
@@ -110,6 +112,7 @@ type DeltaEvaluator struct {
 	pp        [][]float64 // pp[k][t]: running product P(k,·) through factor t
 	er2       [][]float64 // er2[k][i] = fl(e^{λ·rec(k,i)}·(1/λ+D))
 	cm        [][]float64 // cm[k][i] = expm1(λ·((lost[k][i]+w_i)+δ_i c_i))
+	condv     [][]float64 // condv[k][i] = E[X_i | Z^i_k]: 0 if cm==0, else fl(er2·cm)
 	er0       []float64   // er2 for the k = 0 event (lostK = 0)
 	cm0, cm0c []float64   // cm for k = 0 with δ_i = false / true
 	p0        []float64   // p0[i]: k = 0 running product through position i
@@ -137,6 +140,10 @@ type DeltaEvaluator struct {
 	// an isolated outlier probe is kept.
 	cold       *Evaluator
 	coldStreak int
+
+	// table caches the (graph, platform) transcendental factors,
+	// shared with the cold parent when pooled (see ensureTable).
+	table *FactorTable
 }
 
 // NewDeltaEvaluator returns an empty incremental evaluator; the first
@@ -263,7 +270,15 @@ func (d *DeltaEvaluator) matches(s *Schedule, p failure.Platform) bool {
 
 // Invalidate drops the loaded schedule, forcing the next EvalSchedule
 // to evaluate cold.
-func (d *DeltaEvaluator) Invalidate() { d.loaded = false }
+func (d *DeltaEvaluator) Invalidate() {
+	d.loaded = false
+	// Factor tables key on graph identity; Invalidate signals the
+	// graph may have been mutated in place, so drop the table too.
+	d.table = nil
+	if d.cold != nil {
+		d.cold.table = nil
+	}
+}
 
 // resizeDelta prepares all buffers for an n-task schedule.
 func (d *DeltaEvaluator) resizeDelta(n int) {
@@ -275,6 +290,7 @@ func (d *DeltaEvaluator) resizeDelta(n int) {
 		d.pp = arenaF64(n+1, n+1)
 		d.er2 = arenaF64(n+1, n+1)
 		d.cm = arenaF64(n+1, n+1)
+		d.condv = arenaF64(n+1, n+1)
 		d.fw = make([]float64, n+1)
 		d.fc = make([]float64, n+1)
 		d.er0 = make([]float64, n+1)
@@ -306,6 +322,7 @@ func (d *DeltaEvaluator) resizeDelta(n int) {
 	d.pp = d.pp[:n+1]
 	d.er2 = d.er2[:n+1]
 	d.cm = d.cm[:n+1]
+	d.condv = d.condv[:n+1]
 	d.fw = d.fw[:n+1]
 	d.fc = d.fc[:n+1]
 	d.er0 = d.er0[:n+1]
@@ -340,12 +357,17 @@ func (d *DeltaEvaluator) loadFull(s *Schedule, p failure.Platform) float64 {
 	d.loadSchedule(s)
 
 	lambda := p.Lambda
-	d.coef = 1/lambda + p.Downtime
-	for i := 1; i <= n; i++ {
-		d.fw[i] = math.Exp(-lambda * d.w[i])
-		d.fc[i] = math.Exp(-lambda * d.c[i])
-		d.cm0[i] = math.Expm1(lambda * (d.w[i] + 0))
-		d.cm0c[i] = math.Expm1(lambda * (d.w[i] + d.c[i]))
+	// Schedule-independent transcendentals come permuted from the
+	// factor table (bit-identical to the inline math.Exp/Expm1 calls
+	// this loop used to make — see FactorTable).
+	tab := d.ensureTable(g, p)
+	d.coef = tab.coef
+	for id := 0; id < n; id++ {
+		i := d.pos[id]
+		d.fw[i] = tab.fw[id]
+		d.fc[i] = tab.fc[id]
+		d.cm0[i] = tab.cm0[id]
+		d.cm0c[i] = tab.cm0c[id]
 	}
 
 	for k := 1; k <= n; k++ {
@@ -382,8 +404,15 @@ func (d *DeltaEvaluator) refreshCond(k, i int) {
 	if d.ckpt[i] {
 		ck = d.c[i]
 	}
-	d.cm[k][i] = math.Expm1(lambda * (wi + ck))
-	d.er2[k][i] = math.Exp(lambda*d.recClamped(k, i)) * d.coef
+	cmv := math.Expm1(lambda * (wi + ck))
+	erv := math.Exp(lambda*d.recClamped(k, i)) * d.coef
+	d.cm[k][i] = cmv
+	d.er2[k][i] = erv
+	if cmv == 0 {
+		d.condv[k][i] = 0
+	} else {
+		d.condv[k][i] = erv * cmv
+	}
 }
 
 // recClamped returns rec(k, i) = (W^i_i+R^i_i) − (W^i_k+R^i_k),
@@ -415,11 +444,7 @@ func (d *DeltaEvaluator) cond(i, k int) float64 {
 		}
 		return d.er0[i] * cmv
 	}
-	cmv := d.cm[k][i]
-	if cmv == 0 {
-		return 0
-	}
-	return d.er2[k][i] * cmv
+	return d.condv[k][i]
 }
 
 // applyFlips incrementally re-evaluates after the pending checkpoint
@@ -524,7 +549,13 @@ func (d *DeltaEvaluator) applyFlips() float64 {
 		// reads lost[k][t0], not the diagonal).
 		d.er0[t0] = math.Exp(lambda*d.lost[t0][t0]) * d.coef
 		for k := 1; k < t0; k++ {
-			d.er2[k][t0] = math.Exp(lambda*d.recClamped(k, t0)) * d.coef
+			erv := math.Exp(lambda*d.recClamped(k, t0)) * d.coef
+			d.er2[k][t0] = erv
+			if cmv := d.cm[k][t0]; cmv == 0 {
+				d.condv[k][t0] = 0
+			} else {
+				d.condv[k][t0] = erv * cmv
+			}
 		}
 	}
 	for _, j := range d.flips {
@@ -535,7 +566,13 @@ func (d *DeltaEvaluator) applyFlips() float64 {
 			if d.ckpt[j] {
 				ck = d.c[j]
 			}
-			d.cm[k][j] = math.Expm1(lambda * (wi + ck))
+			cmv := math.Expm1(lambda * (wi + ck))
+			d.cm[k][j] = cmv
+			if cmv == 0 {
+				d.condv[k][j] = 0
+			} else {
+				d.condv[k][j] = d.er2[k][j] * cmv
+			}
 		}
 	}
 
@@ -632,9 +669,9 @@ func (d *DeltaEvaluator) accumulate(dmin int) float64 {
 // stored for the next evaluation.
 func (d *DeltaEvaluator) pushRow(k, startIP int) {
 	n := d.n
-	bfk, ppk, cmk, erk := d.bf[k], d.pp[k], d.cm[k], d.er2[k]
+	bfk, ppk, condk := d.bf[k], d.pp[k], d.condv[k]
 	probSum, exSum := d.probSum, d.exSum
-	_, _, _, _ = bfk[n], ppk[n], cmk[n], erk[n] // bounds hints
+	_, _, _ = bfk[n], ppk[n], condk[n] // bounds hints
 	_, _ = probSum[n], exSum[n]
 	pzk := d.pz[k]
 	b := d.minChg[k]
@@ -651,9 +688,8 @@ func (d *DeltaEvaluator) pushRow(k, startIP int) {
 		}
 		pr := P * pzk
 		probSum[ip] += pr
-		cmv := cmk[ip]
-		if cmv != 0 {
-			exSum[ip] += pr * (erk[ip] * cmv)
+		if cv := condk[ip]; cv != 0 {
+			exSum[ip] += pr * cv
 		}
 	}
 	if ip > n {
@@ -679,9 +715,8 @@ func (d *DeltaEvaluator) pushRow(k, startIP int) {
 		}
 		pr := P * pzk
 		probSum[ip] += pr
-		cmv := cmk[ip]
-		if cmv != 0 {
-			exSum[ip] += pr * (erk[ip] * cmv)
+		if cv := condk[ip]; cv != 0 {
+			exSum[ip] += pr * cv
 		}
 	}
 }

@@ -19,6 +19,11 @@ type evalPool struct {
 	mu     sync.Mutex
 	free   []*core.Evaluator
 	leased map[*core.Evaluator]bool
+
+	// table, when non-nil, is the engine's shared read-only
+	// core.FactorTable, installed on every leased evaluator so no
+	// worker recomputes the instance's transcendental factors.
+	table *core.FactorTable
 }
 
 func newEvalPool() *evalPool {
@@ -40,6 +45,9 @@ func (p *evalPool) get() *core.Evaluator {
 		panic("portfolio: evaluator leased to two workers")
 	}
 	p.leased[ev] = true
+	if p.table != nil {
+		ev.SetFactorTable(p.table)
+	}
 	return ev
 }
 

@@ -39,7 +39,9 @@ package portfolio
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dag"
@@ -114,6 +116,11 @@ func Run(hs []sched.Heuristic, g *dag.Graph, plat failure.Platform, opt Options)
 		chunk = DefaultChunkSize
 	}
 	pool := newEvalPool()
+	// One factor table per (graph, platform), shared by every leased
+	// evaluator: the table is immutable after construction — the one
+	// sanctioned piece of cross-evaluator state (see core.FactorTable)
+	// — so no pooled worker recomputes the instance's transcendentals.
+	pool.table = core.NewFactorTable(g, plat)
 
 	// Linearizations are cheap (O(n log n)) and deterministic; compute
 	// them once up front so every cell of a heuristic shares one order
@@ -244,26 +251,100 @@ func Run(hs []sched.Heuristic, g *dag.Graph, plat failure.Platform, opt Options)
 	return out
 }
 
-// runCells evaluates a batch of cells on the pool and merges each
-// cell's candidate into its heuristic's running best, in cell order.
-// (The comparator is a total order, so merge order is immaterial —
-// iterating in cell order just makes that obvious.)
+// spanResult pairs a completed span's candidate with its reduction
+// key. Completion order varies with the steal schedule; the keys make
+// the fold order canonical.
+type spanResult struct {
+	h, key int
+	best   cellBest
+}
+
+// runCells evaluates a batch of cells through the work-stealing
+// scheduler (steal.go) and merges the candidates into each
+// heuristic's running best.
+//
+// The reduction is a canonical ordered fold: completed spans are
+// collected with their (heuristic, N-range) keys, sorted, and merged
+// in that fixed order. sched.CanonicalBetter is a total order, so the
+// sort is not needed for correctness — but it makes the merge tree
+// visibly independent of completion order, and it keeps the contract
+// robust should the comparator ever lose totality.
 func runCells(pool *evalPool, workers int, cells []cell, hs []sched.Heuristic,
 	g *dag.Graph, plat failure.Platform, orders [][]int,
 	bounds []func(int) float64, incs []incumbent, best []cellBest) {
-	results := make([]cellBest, len(cells))
-	pool.forEach(workers, len(cells), func(ev *core.Evaluator, ci int) {
-		c := cells[ci]
-		if c.ns == nil {
-			s, v := hs[c.h].Strat.Apply(g, plat, orders[c.h], ev)
-			results[ci] = cellBest{val: v, n: -1, k: s.NumCheckpointed(), sched: s}
-			return
+	if len(cells) == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	spans := make([]span, 0, len(cells))
+	for _, c := range cells {
+		spans = append(spans, span{h: c.h, ns: c.ns, key: spanKey(c.ns)})
+	}
+	if workers > 1 {
+		spans = presplit(spans, workers)
+	}
+	if workers > len(spans) {
+		workers = len(spans)
+	}
+	q := newStealScheduler(spans)
+
+	var (
+		resMu   sync.Mutex
+		results []spanResult
+	)
+	worker := func(ev *core.Evaluator) {
+		for {
+			sp, ok := q.next()
+			if !ok {
+				return
+			}
+			if testSpanDelay != nil {
+				testSpanDelay(sp.h, sp.key)
+			}
+			var r cellBest
+			if sp.ns == nil {
+				s, v := hs[sp.h].Strat.Apply(g, plat, orders[sp.h], ev)
+				r = cellBest{val: v, n: -1, k: s.NumCheckpointed(), sched: s}
+			} else {
+				r = sweepCell(hs[sp.h].Strat.(sched.NSweeper), g, plat, orders[sp.h], sp, ev,
+					bounds[sp.h], &incs[sp.h], q)
+			}
+			resMu.Lock()
+			results = append(results, spanResult{h: sp.h, key: sp.key, best: r})
+			resMu.Unlock()
+			q.finish()
 		}
-		results[ci] = sweepCell(hs[c.h].Strat.(sched.NSweeper), g, plat, orders[c.h], c.ns, ev,
-			bounds[c.h], &incs[c.h])
+	}
+	if workers == 1 {
+		// Serial path: same scheduler and lease discipline, no
+		// goroutines (and no stealing — nobody is ever starving).
+		ev := pool.get()
+		worker(ev)
+		pool.put(ev)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ev := pool.get()
+				defer pool.put(ev)
+				worker(ev)
+			}()
+		}
+		wg.Wait()
+	}
+
+	sort.Slice(results, func(a, b int) bool {
+		if results[a].h != results[b].h {
+			return results[a].h < results[b].h
+		}
+		return results[a].key < results[b].key
 	})
-	for ci := range cells {
-		best[cells[ci].h].merge(&results[ci])
+	for i := range results {
+		best[results[i].h].merge(&results[i].best)
 	}
 }
 
@@ -287,8 +368,15 @@ func runCells(pool *evalPool, workers int, cells []cell, hs []sched.Heuristic,
 // merged per-heuristic winner — and everything downstream — is
 // bit-identical for every worker count and to pruning disabled
 // (pinned by this package's differential test).
-func sweepCell(sw sched.NSweeper, g *dag.Graph, plat failure.Platform, order, ns []int, ev *core.Evaluator,
-	bound func(int) float64, inc *incumbent) cellBest {
+//
+// Between evaluations the cell checks whether any worker is starving
+// and, if so, donates the unevaluated back half of its range to the
+// scheduler — the work-stealing leg (see steal.go). Donating moves
+// candidates to another worker; it never changes them, so the
+// determinism argument above is untouched.
+func sweepCell(sw sched.NSweeper, g *dag.Graph, plat failure.Platform, order []int, sp span, ev *core.Evaluator,
+	bound func(int) float64, inc *incumbent, q *stealScheduler) cellBest {
+	ns := sp.ns
 	best := cellBest{val: math.Inf(1), n: -1}
 	cur := math.Inf(1)
 	if inc != nil {
@@ -310,7 +398,14 @@ func sweepCell(sw sched.NSweeper, g *dag.Graph, plat failure.Platform, order, ns
 	mask := make([]bool, g.N())
 	s := &core.Schedule{Graph: g, Order: order, Ckpt: mask}
 	evalPoint := sched.SweepEvaluator(sw, ev)
-	for _, N := range ns {
+	for idx := 0; idx < len(ns); idx++ {
+		if q != nil && len(ns)-idx >= 2*minSpan && q.starving() {
+			rest := span{h: sp.h, ns: ns[idx:]}
+			keep, give := rest.split()
+			q.donate(give)
+			ns = ns[:idx+len(keep.ns)]
+		}
+		N := ns[idx]
 		if bound != nil {
 			if c := inc.load(); c < cur {
 				cur = c

@@ -1,0 +1,183 @@
+package portfolio
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the deterministic work-stealing cell scheduler. The
+// static cell partition built by Run is only a starting point: cell
+// costs are wildly non-uniform once bound-pruning is on (a pruned
+// cell returns in microseconds, an unpruned n = 2000 scan runs for
+// seconds), so any fixed assignment leaves workers idle behind the
+// slowest cell. Here the cells feed a shared deque; idle workers
+// steal and *subdivide* the largest remaining N-ranges, and busy
+// workers donate the unevaluated back half of their range whenever
+// someone is starving, so the portfolio tail — a few unpruned
+// heuristics at large n — spreads across the whole worker budget.
+//
+// # Why stealing cannot change the answer
+//
+// Every candidate is a pure function of its (heuristic, N) pair: the
+// order slice is shared and read-only, the evaluators are
+// bit-identical to cold evaluation regardless of their loaded state,
+// and bound-pruning only ever skips candidates that are provably
+// beaten by an already-evaluated candidate of the same heuristic. A
+// steal schedule changes only *which worker* evaluates each N —
+// never the candidate set — and the reduction folds completed spans
+// in a fixed canonical order (heuristic, then N-range key) under
+// sched.CanonicalBetter's total order. So the merged winner is
+// bit-identical for any worker count and any steal schedule, which
+// the determinism stress test pins under the race detector.
+
+// minSpan is the smallest N-range a split may produce. Below ~8
+// values the per-span overhead (masker build, one cold-equivalent
+// delta load) outweighs the parallelism gained.
+const minSpan = 8
+
+// span is one schedulable unit: a contiguous slice of heuristic h's
+// N values, or (ns == nil) one opaque Strategy.Apply call.
+type span struct {
+	h  int
+	ns []int
+	// key identifies the span's N-range in the canonical reduction:
+	// its first N value — unique within a heuristic per batch, because
+	// every N appears in exactly one span — or -1 for opaque cells.
+	key int
+}
+
+func spanKey(ns []int) int {
+	if len(ns) == 0 {
+		return -1
+	}
+	return ns[0]
+}
+
+// split cuts sp in two at the midpoint, returning the halves. Only
+// call when len(sp.ns) ≥ 2·minSpan.
+func (sp span) split() (front, back span) {
+	cut := (len(sp.ns) + 1) / 2
+	front = span{h: sp.h, ns: sp.ns[:cut], key: sp.key}
+	back = span{h: sp.h, ns: sp.ns[cut:], key: sp.ns[cut]}
+	return front, back
+}
+
+// presplit subdivides the initial cell set until it has at least
+// `workers` spans or nothing splittable remains — the intra-cell
+// parallelism layer: when the cell count is below the worker budget
+// (the large-n tail, where pruning has collapsed the portfolio to a
+// few heuristics), single cells' N-ranges are divided across
+// sub-workers up front. Each split keeps the halves adjacent, so a
+// worker draining the queue in order still sees consecutive N values
+// and its delta evaluator pays only small mask diffs.
+func presplit(spans []span, workers int) []span {
+	for len(spans) < workers {
+		bi := -1
+		for i := range spans {
+			if l := len(spans[i].ns); l >= 2*minSpan && (bi < 0 || l > len(spans[bi].ns)) {
+				bi = i
+			}
+		}
+		if bi < 0 {
+			return spans
+		}
+		front, back := spans[bi].split()
+		spans = append(spans, span{})
+		copy(spans[bi+2:], spans[bi+1:])
+		spans[bi], spans[bi+1] = front, back
+	}
+	return spans
+}
+
+// stealScheduler is a mutex-guarded deque of spans. Workers pop from
+// the front (preserving the locality-friendly construction order);
+// when a pop happens while other workers are starving, the largest
+// queued span is subdivided first so the woken worker finds work too.
+type stealScheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []span
+	active int          // workers currently executing a span
+	hungry atomic.Int32 // workers blocked in next — the donation signal
+}
+
+func newStealScheduler(spans []span) *stealScheduler {
+	s := &stealScheduler{queue: spans}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// next leases the front span to the calling worker, blocking while
+// the deque is empty but spans are still in flight (a busy worker may
+// donate). Returns false when the batch is drained.
+func (s *stealScheduler) next() (span, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if len(s.queue) > 0 {
+			if s.hungry.Load() > 0 {
+				s.splitLargestLocked()
+				s.cond.Signal()
+			}
+			sp := s.queue[0]
+			s.queue = s.queue[1:]
+			s.active++
+			return sp, true
+		}
+		if s.active == 0 {
+			s.cond.Broadcast()
+			return span{}, false
+		}
+		s.hungry.Add(1)
+		s.cond.Wait()
+		s.hungry.Add(-1)
+	}
+}
+
+// finish returns a span's lease. The last finisher with an empty
+// deque releases every blocked worker.
+func (s *stealScheduler) finish() {
+	s.mu.Lock()
+	s.active--
+	if s.active == 0 && len(s.queue) == 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// starving reports whether any worker is blocked waiting for work —
+// the cheap check busy workers make between evaluations to decide
+// whether to donate the back half of their remaining range.
+func (s *stealScheduler) starving() bool { return s.hungry.Load() > 0 }
+
+// donate pushes the unevaluated back half of a running span's range
+// and wakes one starving worker.
+func (s *stealScheduler) donate(sp span) {
+	s.mu.Lock()
+	s.queue = append(s.queue, sp)
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// splitLargestLocked subdivides the largest splittable queued span in
+// place (halves stay adjacent). Called with s.mu held.
+func (s *stealScheduler) splitLargestLocked() {
+	bi := -1
+	for i := range s.queue {
+		if l := len(s.queue[i].ns); l >= 2*minSpan && (bi < 0 || l > len(s.queue[bi].ns)) {
+			bi = i
+		}
+	}
+	if bi < 0 {
+		return
+	}
+	front, back := s.queue[bi].split()
+	s.queue = append(s.queue, span{})
+	copy(s.queue[bi+2:], s.queue[bi+1:])
+	s.queue[bi], s.queue[bi+1] = front, back
+}
+
+// testSpanDelay, when non-nil, is called before each span executes —
+// a test-only hook the determinism stress test uses to inject
+// randomized delays and exercise arbitrary completion / steal orders.
+var testSpanDelay func(h, key int)

@@ -1,0 +1,141 @@
+package portfolio
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pwg"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// spansOf builds a span set with the given range lengths, numbering
+// N values consecutively so keys are recognizable.
+func spansOf(lens ...int) []span {
+	var spans []span
+	next := 1
+	for h, l := range lens {
+		ns := make([]int, l)
+		for i := range ns {
+			ns[i] = next
+			next++
+		}
+		spans = append(spans, span{h: h, ns: ns, key: spanKey(ns)})
+	}
+	return spans
+}
+
+// flatten re-assembles the N values of a span set per heuristic.
+func flatten(spans []span) map[int][]int {
+	out := map[int][]int{}
+	for _, sp := range spans {
+		out[sp.h] = append(out[sp.h], sp.ns...)
+	}
+	return out
+}
+
+// presplit must reach the worker budget when ranges allow it, keep
+// halves adjacent (so in-order draining preserves N order), preserve
+// the exact candidate multiset, and key every span by its first N.
+func TestPresplit(t *testing.T) {
+	orig := spansOf(64, 3, 40)
+	want := flatten(orig)
+	got := presplit(spansOf(64, 3, 40), 8)
+	if len(got) < 8 {
+		t.Fatalf("presplit produced %d spans, want >= 8", len(got))
+	}
+	for _, sp := range got {
+		if len(sp.ns) == 0 || sp.key != sp.ns[0] {
+			t.Fatalf("span %+v not keyed by its first N", sp)
+		}
+	}
+	for h, ns := range flatten(got) {
+		if fmt.Sprint(ns) != fmt.Sprint(want[h]) {
+			t.Fatalf("heuristic %d: N order changed: %v -> %v", h, want[h], ns)
+		}
+	}
+	// Unsplittable sets must be returned unchanged, not loop forever.
+	small := presplit(spansOf(3, 2), 16)
+	if len(small) != 2 {
+		t.Fatalf("presplit split below minSpan: %d spans", len(small))
+	}
+}
+
+// The scheduler must hand out every span exactly once, subdividing
+// under contention, and release all workers at the end.
+func TestStealSchedulerDrains(t *testing.T) {
+	q := newStealScheduler(spansOf(200, 5, 97))
+	var mu sync.Mutex
+	got := map[int][]int{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				sp, ok := q.next()
+				if !ok {
+					return
+				}
+				time.Sleep(time.Duration(len(sp.ns)) * time.Microsecond)
+				mu.Lock()
+				got[sp.h] = append(got[sp.h], sp.ns...)
+				mu.Unlock()
+				q.finish()
+			}
+		}()
+	}
+	wg.Wait()
+	want := flatten(spansOf(200, 5, 97))
+	for h, ns := range want {
+		if len(got[h]) != len(ns) {
+			t.Fatalf("heuristic %d: %d of %d N values scheduled", h, len(got[h]), len(ns))
+		}
+	}
+}
+
+// The determinism stress test of the acceptance criteria: randomized
+// per-span delays (via the test-only testSpanDelay hook) force
+// arbitrary completion orders and steal schedules, and every run must
+// produce the serial fingerprint bit for bit — across worker counts
+// {1, 2, 7, NumCPU} (32 runs each in full mode) and the clamped
+// workers=999 case. The CI race job runs this under -race, so any
+// unsynchronized scheduler state also fails here.
+func TestStealDeterminismStress(t *testing.T) {
+	g := testGraph(t, pwg.CyberShake, 40, 21)
+	hs := sched.Paper14(sched.Options{RFSeed: 7, Grid: 6})
+	want := fingerprint(Run(hs, g, plat, Options{Workers: 1}))
+
+	r := rng.New(0xdecade)
+	var mu sync.Mutex
+	testSpanDelay = func(h, key int) {
+		mu.Lock()
+		d := time.Duration(r.Intn(200)) * time.Microsecond
+		mu.Unlock()
+		time.Sleep(d)
+	}
+	defer func() { testSpanDelay = nil }()
+
+	runs := 32
+	if testing.Short() {
+		runs = 4
+	}
+	for _, workers := range []int{1, 2, 7, runtime.NumCPU(), 999} {
+		n := runs
+		if workers == 999 {
+			n = 4 // clamped-budget spot check; the sweep above is the load
+		}
+		for run := 0; run < n; run++ {
+			// Varying the chunk size varies the initial partition the
+			// steal schedule starts from.
+			opt := Options{Workers: workers, ChunkSize: 1 + (run*7)%48}
+			if got := fingerprint(Run(hs, g, plat, opt)); got != want {
+				t.Fatalf("workers=%d run=%d chunk=%d diverged from serial:\n got %s\nwant %s",
+					workers, run, opt.ChunkSize, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package prof wires the standard profiling hooks — CPU profile,
+// heap profile, execution trace — into the repo's commands with three
+// flags and a start/stop pair, so `wfsched -cpuprofile p.out ...` and
+// `go tool pprof` work out of the box. The heavy engines run inside
+// library packages; the commands are where a whole run (portfolio
+// search + Monte-Carlo + reporting) can be captured end to end, which
+// is what the scheduler-level optimizations need: pprof shows where
+// the evaluator time goes, the trace shows where the *workers idle*.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Config holds the profile destinations. Empty strings disable the
+// corresponding profile.
+type Config struct {
+	CPU, Mem, Trace string
+}
+
+// FlagVars registers -cpuprofile, -memprofile and -trace on the
+// default flag set and returns the config they fill. Call before
+// flag.Parse.
+func FlagVars() *Config {
+	c := &Config{}
+	flag.StringVar(&c.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&c.Mem, "memprofile", "", "write a heap profile to this file at stop")
+	flag.StringVar(&c.Trace, "trace", "", "write a runtime execution trace to this file")
+	return c
+}
+
+// Start begins the configured profiles and returns the stop function
+// that flushes them. Call stop before the process exits (deferred
+// functions do not run across os.Exit — commands that exit with a
+// status must call stop explicitly first).
+func (c *Config) Start() (stop func() error, err error) {
+	var cpuF, traceF *os.File
+	if c.CPU != "" {
+		if cpuF, err = os.Create(c.CPU); err != nil {
+			return nil, err
+		}
+		if err = pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+	}
+	if c.Trace != "" {
+		if traceF, err = os.Create(c.Trace); err != nil {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			return nil, err
+		}
+		if err = trace.Start(traceF); err != nil {
+			traceF.Close()
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			return nil, fmt.Errorf("starting trace: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if traceF != nil {
+			trace.Stop()
+			if err := traceF.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if c.Mem != "" {
+			f, err := os.Create(c.Mem)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				runtime.GC() // material allocations only, not garbage
+				if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("writing heap profile: %w", err)
+				}
+				if err := f.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		return firstErr
+	}, nil
+}
